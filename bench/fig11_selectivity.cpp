@@ -1,0 +1,88 @@
+// Fig. 11: estimated vs theoretical selectivities on the Bib use case,
+// one panel per workload (Len, Con, Dis, Rec).
+//
+// For each panel the harness picks one query per class (Q1 constant,
+// Q2 linear, Q3 quadratic), prints the measured result counts |Q| per
+// graph size, and next to them the fitted theoretical curve
+// |E| = beta * n^alpha — the two series should closely overlap, as in
+// the paper's figure.
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/alpha_lab.h"
+#include "bench_util.h"
+#include "core/use_cases.h"
+#include "workload/presets.h"
+#include "workload/query_generator.h"
+
+using namespace gmark;
+
+int main() {
+  bench::PrintHeader("Fig. 11: estimated vs theoretical selectivities (Bib)",
+                     "paper Fig. 11(a)-(d)");
+  std::vector<int64_t> sizes =
+      bench::Sizes({500, 1000, 2000, 4000, 8000},
+                   {2000, 4000, 8000, 16000, 32000});
+  GraphConfiguration base = MakeBibConfig(sizes.front(), 7);
+  auto lab = AlphaLab::Create(base, sizes);
+  if (!lab.ok()) {
+    std::fprintf(stderr, "%s\n", lab.status().ToString().c_str());
+    return 1;
+  }
+  QueryGenerator generator(&base.schema);
+
+  for (WorkloadPreset preset : {WorkloadPreset::kLen, WorkloadPreset::kCon,
+                                WorkloadPreset::kDis, WorkloadPreset::kRec}) {
+    std::printf("\n--- Bib-%s ---\n", WorkloadPresetName(preset));
+    auto workload = generator.Generate(MakePresetWorkload(preset, 3, 13));
+    if (!workload.ok()) {
+      std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-8s %-10s", "size", "");
+    for (const GeneratedQuery& gq : workload->queries) {
+      std::printf("  Q-%s(|Q|)  Q-%s(|E|)",
+                  QuerySelectivityName(*gq.target_class),
+                  QuerySelectivityName(*gq.target_class));
+    }
+    std::printf("\n");
+
+    std::vector<AlphaEstimate> estimates;
+    for (const GeneratedQuery& gq : workload->queries) {
+      auto est =
+          lab->Measure(gq.query, ResourceBudget::Limited(120.0, 400000000));
+      if (!est.ok()) {
+        std::fprintf(stderr, "measure failed: %s\n",
+                     est.status().ToString().c_str());
+        estimates.emplace_back();
+        continue;
+      }
+      estimates.push_back(std::move(est).ValueOrDie());
+    }
+    const auto& realized = lab->realized_sizes();
+    for (size_t i = 0; i < realized.size(); ++i) {
+      std::printf("%-8lld %-10s", static_cast<long long>(realized[i]), "");
+      for (const AlphaEstimate& est : estimates) {
+        if (est.counts.size() <= i) {
+          std::printf("  %10s %10s", "-", "-");
+          continue;
+        }
+        double theoretical =
+            est.beta * std::pow(static_cast<double>(realized[i]), est.alpha);
+        std::printf("  %10llu %10.0f",
+                    static_cast<unsigned long long>(est.counts[i]),
+                    theoretical);
+      }
+      std::printf("\n");
+    }
+    for (size_t qi = 0; qi < estimates.size(); ++qi) {
+      std::printf("  fitted Q%zu: alpha=%.3f beta=%.4g r2=%.3f\n", qi + 1,
+                  estimates[qi].alpha, estimates[qi].beta,
+                  estimates[qi].r_squared);
+    }
+  }
+  std::printf("\nexpected shape (paper): |Q| and |E| curves overlap; the\n"
+              "quadratic query dominates, linear grows ~n, constant flat.\n");
+  return 0;
+}

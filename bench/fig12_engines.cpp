@@ -1,0 +1,126 @@
+// Fig. 12(a)-(c): query execution times for the diverse workloads
+// {Len, Dis, Con} across the four engine simulators {P, S, G, D} and
+// increasing graph sizes, split by selectivity class (one block per
+// panel: constant, linear, quadratic).
+//
+// Protocol per §7.1: per query one cold run plus warm runs (trimmed
+// average); queries carry the count(distinct) aggregate; each cell
+// averages the class's queries; "-" marks failures (budget exhausted),
+// which the paper also observes.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "analysis/runner.h"
+#include "bench_util.h"
+#include "core/use_cases.h"
+#include "graph/generator.h"
+#include "workload/presets.h"
+#include "workload/query_generator.h"
+
+using namespace gmark;
+
+namespace {
+
+struct Cell {
+  double total = 0;
+  int ok_runs = 0;
+  int failures = 0;
+
+  std::string Render() const {
+    if (ok_runs == 0) return "-";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f%s",
+                  total / static_cast<double>(ok_runs),
+                  failures > 0 ? "*" : "");
+    return buf;
+  }
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Fig. 12: engine comparison on diverse workloads (Bib)",
+      "paper Fig. 12(a) constant, (b) linear, (c) quadratic");
+  std::vector<int64_t> sizes =
+      bench::Sizes({500, 1000, 2000}, {2000, 4000, 8000, 16000});
+  const size_t num_queries = bench::FullMode() ? 30 : 6;
+  ResourceBudget budget =
+      bench::FullMode() ? ResourceBudget::Limited(60.0, 200000000)
+                        : ResourceBudget::Limited(2.0, 20000000);
+  TimingProtocol protocol;
+  if (!bench::FullMode()) protocol.warm_runs = 3;
+
+  GraphConfiguration base = MakeBibConfig(sizes.front(), 7);
+  QueryGenerator generator(&base.schema);
+
+  // Pre-generate graphs (shared across workloads and engines).
+  std::vector<Graph> graphs;
+  for (int64_t n : sizes) {
+    GraphConfiguration config = base;
+    config.num_nodes = n;
+    graphs.push_back(GenerateGraph(config).ValueOrDie());
+  }
+
+  // cell[(class, preset, engine, size_index)]
+  std::map<std::tuple<QuerySelectivity, WorkloadPreset, EngineKind, size_t>,
+           Cell>
+      cells;
+  for (WorkloadPreset preset : {WorkloadPreset::kLen, WorkloadPreset::kDis,
+                                WorkloadPreset::kCon}) {
+    auto workload =
+        generator.Generate(MakePresetWorkload(preset, num_queries, 19));
+    if (!workload.ok()) continue;
+    for (EngineKind kind : AllEngineKinds()) {
+      auto engine = MakeEngine(kind);
+      for (size_t si = 0; si < graphs.size(); ++si) {
+        for (const GeneratedQuery& gq : workload->queries) {
+          TimingResult result =
+              TimeQuery(*engine, graphs[si], gq.query, budget, protocol);
+          Cell& cell =
+              cells[{*gq.target_class, preset, kind, si}];
+          if (result.ok()) {
+            cell.total += result.seconds;
+            ++cell.ok_runs;
+          } else {
+            ++cell.failures;
+          }
+        }
+      }
+    }
+  }
+
+  for (QuerySelectivity cls :
+       {QuerySelectivity::kConstant, QuerySelectivity::kLinear,
+        QuerySelectivity::kQuadratic}) {
+    std::printf("\n--- panel: %s queries (seconds, avg per class) ---\n",
+                QuerySelectivityName(cls));
+    std::printf("%-10s", "wl/sys");
+    for (int64_t n : sizes) {
+      std::printf("  %9lld", static_cast<long long>(n));
+    }
+    std::printf("\n");
+    for (WorkloadPreset preset : {WorkloadPreset::kLen, WorkloadPreset::kDis,
+                                  WorkloadPreset::kCon}) {
+      for (EngineKind kind : AllEngineKinds()) {
+        std::printf("%s/%-7s", WorkloadPresetName(preset),
+                    EngineKindCode(kind));
+        for (size_t si = 0; si < graphs.size(); ++si) {
+          auto it = cells.find({cls, preset, kind, si});
+          std::printf("  %9s", it == cells.end() ? "-"
+                                                  : it->second.Render()
+                                                        .c_str());
+        }
+        std::printf("\n");
+      }
+    }
+  }
+  std::printf(
+      "\n(* = some queries of the class failed within budget)\n"
+      "expected shape (paper): P fastest on constant and on small linear;\n"
+      "S overtakes on larger linear and on quadratic; G slowest/deviating;\n"
+      "quadratic panel roughly an order of magnitude above the others.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Microbenchmarks for the primitives the generator and evaluator are
+// built from: Zipf sampling (rejection-inversion), Gaussian draws,
+// slot-vector shuffles, product-graph BFS, and hash joins.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "core/use_cases.h"
+#include "engine/evaluator.h"
+#include "engine/relation.h"
+#include "graph/generator.h"
+#include "util/zipf.h"
+
+namespace {
+
+using namespace gmark;
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler sampler(2.5, state.range(0));
+  RandomEngine rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(&rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(1000000);
+
+void BM_GaussianDraw(benchmark::State& state) {
+  RandomEngine rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.GaussianInt(3.0, 1.0));
+  }
+}
+BENCHMARK(BM_GaussianDraw);
+
+void BM_SlotVectorShuffle(benchmark::State& state) {
+  RandomEngine rng(3);
+  std::vector<uint32_t> slots(static_cast<size_t>(state.range(0)));
+  std::iota(slots.begin(), slots.end(), 0u);
+  for (auto _ : state) {
+    rng.Shuffle(&slots);
+    benchmark::DoNotOptimize(slots.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SlotVectorShuffle)->Arg(100000)->Arg(1000000);
+
+void BM_RpqProductBfs(benchmark::State& state) {
+  GraphConfiguration config = MakeBibConfig(state.range(0), 7);
+  Graph graph = GenerateGraph(config).ValueOrDie();
+  // Co-authorship: authors . authors^- — a 3-state NFA.
+  RegularExpression co;
+  co.disjuncts = {{Symbol::Fwd(0), Symbol::Inv(0)}};
+  Nfa nfa = Nfa::FromRegex(co).ValueOrDie();
+  RpqEvaluator rpq(&graph);
+  for (auto _ : state) {
+    BudgetTracker budget(ResourceBudget::Unlimited());
+    benchmark::DoNotOptimize(rpq.CountPairs(nfa, &budget).ValueOr(0));
+  }
+}
+BENCHMARK(BM_RpqProductBfs)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HashJoin(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  RandomEngine rng(3);
+  std::vector<std::pair<NodeId, NodeId>> left, right;
+  for (int64_t i = 0; i < n; ++i) {
+    left.emplace_back(static_cast<NodeId>(rng.UniformInt(0, n / 4)),
+                      static_cast<NodeId>(rng.UniformInt(0, n)));
+    right.emplace_back(static_cast<NodeId>(rng.UniformInt(0, n)),
+                       static_cast<NodeId>(rng.UniformInt(0, n / 4)));
+  }
+  VarRelation a = VarRelation::FromPairs(0, 1, left);
+  VarRelation b = VarRelation::FromPairs(1, 2, right);
+  for (auto _ : state) {
+    BudgetTracker budget(ResourceBudget::Unlimited());
+    auto joined = HashJoin(a, b, &budget);
+    benchmark::DoNotOptimize(joined.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HashJoin)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

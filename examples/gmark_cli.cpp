@@ -1,0 +1,205 @@
+// gmark_cli: the command-line front end of Fig. 1, mirroring the
+// original gMark tool's workflow:
+//
+//   gmark_cli -c <graph-config.xml>        graph configuration (input)
+//             [-w <workload-config.xml>]   workload configuration
+//             [-g <graph.nt>]              write the instance (N-triples)
+//             [-q <workload.xml>]          write UCRPQs as XML
+//             [-o <dir>]                   write per-language query files
+//             [-n <nodes>]                 override the graph size
+//             [--use-case Bib|LSN|SP|WD]   built-in config instead of -c
+//             [--stats]                    print instance statistics
+//
+// Example:
+//   ./build/examples/gmark_cli --use-case Bib -n 10000 ...
+//       -g /tmp/bib.nt -q /tmp/workload.xml -o /tmp/queries --stats
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/config_xml.h"
+#include "core/consistency.h"
+#include "core/use_cases.h"
+#include "graph/generator.h"
+#include "graph/graph_io.h"
+#include "graph/stats.h"
+#include "query/query_xml.h"
+#include "util/string_util.h"
+#include "translate/translator.h"
+#include "workload/presets.h"
+#include "workload/query_generator.h"
+
+using namespace gmark;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s (-c config.xml | --use-case NAME) [-n nodes]\n"
+      "          [-w workload-config.xml] [-g graph.nt] [-q workload.xml]\n"
+      "          [-o query-dir] [--stats]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path, workload_path, graph_out, queries_out, out_dir,
+      use_case;
+  int64_t nodes_override = -1;
+  bool stats = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "-c") {
+      if (const char* v = next()) config_path = v; else return Usage(argv[0]);
+    } else if (arg == "-w") {
+      if (const char* v = next()) workload_path = v; else return Usage(argv[0]);
+    } else if (arg == "-g") {
+      if (const char* v = next()) graph_out = v; else return Usage(argv[0]);
+    } else if (arg == "-q") {
+      if (const char* v = next()) queries_out = v; else return Usage(argv[0]);
+    } else if (arg == "-o") {
+      if (const char* v = next()) out_dir = v; else return Usage(argv[0]);
+    } else if (arg == "-n") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      auto parsed = ParseInt(v);
+      if (!parsed.ok()) return Usage(argv[0]);
+      nodes_override = parsed.ValueOrDie();
+    } else if (arg == "--use-case") {
+      if (const char* v = next()) use_case = v; else return Usage(argv[0]);
+    } else if (arg == "--stats") {
+      stats = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  // Resolve the graph configuration.
+  GraphConfiguration config;
+  if (!config_path.empty()) {
+    auto loaded = LoadGraphConfig(config_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    config = std::move(loaded).ValueOrDie();
+  } else if (use_case == "Bib") {
+    config = MakeBibConfig(10000);
+  } else if (use_case == "LSN") {
+    config = MakeLsnConfig(10000);
+  } else if (use_case == "SP") {
+    config = MakeSpConfig(10000);
+  } else if (use_case == "WD") {
+    config = MakeWdConfig(10000);
+  } else {
+    return Usage(argv[0]);
+  }
+  if (nodes_override > 0) config.num_nodes = nodes_override;
+
+  auto report = CheckConsistency(config);
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  if (!report->all_consistent) {
+    std::fprintf(stderr, "warning: schema has inconsistent constraints "
+                         "(generation will relax them):\n%s",
+                 report->ToString().c_str());
+  }
+
+  // Graph generation.
+  if (!graph_out.empty()) {
+    std::ofstream out(graph_out, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", graph_out.c_str());
+      return 1;
+    }
+    NTriplesSink sink(&out, &config.schema);
+    Status st = GenerateEdges(config, &sink);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu triples to %s\n", sink.count(),
+                graph_out.c_str());
+  }
+  if (stats) {
+    auto graph = GenerateGraph(config);
+    if (graph.ok()) {
+      std::printf("%s", ComputeStats(*graph).ToString(config.schema).c_str());
+    }
+  }
+
+  // Workload generation.
+  if (queries_out.empty() && out_dir.empty()) return 0;
+  WorkloadConfiguration wconfig = MakePresetWorkload(WorkloadPreset::kCon);
+  if (!workload_path.empty()) {
+    auto content = ReadFileToString(workload_path);
+    if (!content.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   content.status().ToString().c_str());
+      return 1;
+    }
+    auto parsed = ParseWorkloadConfigXml(*content);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    wconfig = std::move(parsed).ValueOrDie();
+  }
+  QueryGenerator generator(&config.schema);
+  auto workload = generator.Generate(wconfig);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  for (const std::string& skipped : workload->skipped) {
+    std::fprintf(stderr, "warning: skipped %s\n", skipped.c_str());
+  }
+
+  if (!queries_out.empty()) {
+    Status st = WriteStringToFile(
+        QueriesToXml(workload->RawQueries(), config.schema), queries_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu queries to %s\n", workload->queries.size(),
+                queries_out.c_str());
+  }
+
+  if (!out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    TranslateOptions options;
+    for (QueryLanguage lang : AllQueryLanguages()) {
+      std::string path = out_dir + "/workload." +
+                         std::string(QueryLanguageName(lang)) + ".txt";
+      std::string content;
+      for (const GeneratedQuery& gq : workload->queries) {
+        auto text = TranslateQuery(gq.query, config.schema, lang, options);
+        content += "-- " + gq.query.name + "\n";
+        content += text.ok() ? *text : "-- " + text.status().ToString() + "\n";
+        content += "\n";
+      }
+      Status st = WriteStringToFile(content, path);
+      if (!st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", path.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Measurement harness for selectivity quality (paper §6.2): generate
+// graph instances of increasing sizes from one configuration, count
+// |Q(G)| on each, and fit alpha. Backs Table 2 and Fig. 11.
+
+#ifndef GMARK_ANALYSIS_ALPHA_LAB_H_
+#define GMARK_ANALYSIS_ALPHA_LAB_H_
+
+#include <vector>
+
+#include "analysis/regression.h"
+#include "core/graph_config.h"
+#include "engine/budget.h"
+#include "engine/evaluator.h"
+#include "graph/graph.h"
+#include "query/query.h"
+
+namespace gmark {
+
+/// \brief alpha/beta fit plus the raw counts behind it.
+struct AlphaEstimate {
+  double alpha = 0.0;
+  double beta = 0.0;
+  double r_squared = 0.0;
+  std::vector<int64_t> sizes;    ///< Realized node counts.
+  std::vector<uint64_t> counts;  ///< |Q(G)| per size.
+};
+
+/// \brief Holds one generated instance per requested size.
+class AlphaLab {
+ public:
+  /// \brief Generate instances of `base` at each size (seed varies per
+  /// size so instances are independent draws).
+  static Result<AlphaLab> Create(const GraphConfiguration& base,
+                                 const std::vector<int64_t>& sizes);
+
+  /// \brief |Q(G)| for every instance.
+  Result<std::vector<uint64_t>> Counts(const Query& query,
+                                       const ResourceBudget& budget) const;
+
+  /// \brief Counts + log-log fit of alpha and beta.
+  Result<AlphaEstimate> Measure(const Query& query,
+                                const ResourceBudget& budget) const;
+
+  const std::vector<Graph>& graphs() const { return graphs_; }
+  const std::vector<int64_t>& realized_sizes() const { return sizes_; }
+
+ private:
+  std::vector<Graph> graphs_;
+  std::vector<int64_t> sizes_;
+};
+
+}  // namespace gmark
+
+#endif  // GMARK_ANALYSIS_ALPHA_LAB_H_

@@ -1,0 +1,70 @@
+#include "analysis/regression.h"
+
+#include <cmath>
+
+namespace gmark {
+
+Result<LinearFit> FitLinear(const std::vector<double>& xs,
+                            const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("x/y size mismatch");
+  }
+  const size_t n = xs.size();
+  if (n < 2) {
+    return Status::InvalidArgument("regression needs at least two points");
+  }
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) {
+    return Status::InvalidArgument("x values are all equal");
+  }
+  LinearFit fit;
+  fit.slope = (dn * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / dn;
+  const double ss_tot = syy - sy * sy / dn;
+  double ss_res = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double e = ys[i] - (fit.slope * xs[i] + fit.intercept);
+    ss_res += e * e;
+  }
+  fit.r_squared = ss_tot > 1e-12 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+Result<LinearFit> FitPowerLaw(const std::vector<int64_t>& sizes,
+                              const std::vector<uint64_t>& counts) {
+  if (sizes.size() != counts.size()) {
+    return Status::InvalidArgument("size/count length mismatch");
+  }
+  std::vector<double> xs, ys;
+  xs.reserve(sizes.size());
+  ys.reserve(counts.size());
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    xs.push_back(std::log(static_cast<double>(sizes[i])));
+    ys.push_back(std::log(static_cast<double>(
+        counts[i] == 0 ? uint64_t{1} : counts[i])));
+  }
+  return FitLinear(xs, ys);
+}
+
+MeanStd Summarize(const std::vector<double>& values) {
+  MeanStd out;
+  if (values.empty()) return out;
+  double sum = 0;
+  for (double v : values) sum += v;
+  out.mean = sum / static_cast<double>(values.size());
+  double var = 0;
+  for (double v : values) var += (v - out.mean) * (v - out.mean);
+  out.stddev = std::sqrt(var / static_cast<double>(values.size()));
+  return out;
+}
+
+}  // namespace gmark

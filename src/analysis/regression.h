@@ -1,0 +1,40 @@
+// Least-squares fitting used to recover the selectivity exponent:
+// the paper computes alpha in |Q(G)| = beta * |G|^alpha by simple
+// linear regression between log|G| and log|Q(G)| (§6.2).
+
+#ifndef GMARK_ANALYSIS_REGRESSION_H_
+#define GMARK_ANALYSIS_REGRESSION_H_
+
+#include <vector>
+
+#include "util/result.h"
+
+namespace gmark {
+
+/// \brief y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// \brief Ordinary least squares; needs >= 2 points with distinct x.
+Result<LinearFit> FitLinear(const std::vector<double>& xs,
+                            const std::vector<double>& ys);
+
+/// \brief Fit alpha/beta of counts ~ beta * sizes^alpha via log-log
+/// regression. Zero counts are clamped to 1 (log 0 is undefined; the
+/// paper's constant queries legitimately return near-zero results).
+Result<LinearFit> FitPowerLaw(const std::vector<int64_t>& sizes,
+                              const std::vector<uint64_t>& counts);
+
+/// \brief Mean and (population) standard deviation.
+struct MeanStd {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+MeanStd Summarize(const std::vector<double>& values);
+
+}  // namespace gmark
+
+#endif  // GMARK_ANALYSIS_REGRESSION_H_

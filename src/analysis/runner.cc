@@ -1,0 +1,58 @@
+#include "analysis/runner.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace gmark {
+
+std::string TimingResult::ToCell() const {
+  if (!status.ok()) return "-";
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed << seconds;
+  return os.str();
+}
+
+TimingResult TimeQuery(const QueryEngine& engine, const Graph& graph,
+                       const Query& query, const ResourceBudget& budget,
+                       const TimingProtocol& protocol) {
+  TimingResult result;
+  auto run_once = [&](double* seconds) -> Status {
+    WallTimer timer;
+    auto count = engine.Evaluate(graph, query, budget);
+    *seconds = timer.ElapsedSeconds();
+    GMARK_RETURN_NOT_OK(count.status());
+    result.count = count.ValueOrDie();
+    return Status::OK();
+  };
+
+  if (protocol.cold_run) {
+    double cold = 0;
+    result.status = run_once(&cold);
+    if (!result.status.ok()) return result;  // Failed runs fail cold too.
+  }
+  std::vector<double> times;
+  for (int i = 0; i < protocol.warm_runs; ++i) {
+    double t = 0;
+    result.status = run_once(&t);
+    if (!result.status.ok()) return result;
+    times.push_back(t);
+  }
+  std::sort(times.begin(), times.end());
+  int lo = protocol.trim_each_side;
+  int hi = static_cast<int>(times.size()) - protocol.trim_each_side;
+  if (hi <= lo) {  // Degenerate protocol: use everything.
+    lo = 0;
+    hi = static_cast<int>(times.size());
+  }
+  double sum = 0;
+  for (int i = lo; i < hi; ++i) sum += times[static_cast<size_t>(i)];
+  result.seconds = sum / static_cast<double>(hi - lo);
+  result.status = Status::OK();
+  return result;
+}
+
+}  // namespace gmark

@@ -1,0 +1,41 @@
+// The timing protocol of paper §7.1: per query, one cold run (excluded)
+// plus five warm runs; drop the fastest and slowest warm runs and
+// report the average of the remaining three.
+
+#ifndef GMARK_ANALYSIS_RUNNER_H_
+#define GMARK_ANALYSIS_RUNNER_H_
+
+#include <string>
+
+#include "engine/engines.h"
+#include "graph/graph.h"
+#include "query/query.h"
+
+namespace gmark {
+
+/// \brief Outcome of timing one query on one engine.
+struct TimingResult {
+  Status status;         ///< Non-OK models a failed run ("-" in tables).
+  double seconds = 0.0;  ///< Trimmed average of warm runs.
+  uint64_t count = 0;    ///< count(distinct) of the query result.
+
+  bool ok() const { return status.ok(); }
+  /// \brief Seconds formatted for tables; "-" on failure.
+  std::string ToCell() const;
+};
+
+/// \brief Protocol knobs; defaults follow the paper.
+struct TimingProtocol {
+  int warm_runs = 5;
+  int trim_each_side = 1;
+  bool cold_run = true;
+};
+
+/// \brief Run the §7.1 protocol for (engine, graph, query).
+TimingResult TimeQuery(const QueryEngine& engine, const Graph& graph,
+                       const Query& query, const ResourceBudget& budget,
+                       const TimingProtocol& protocol = {});
+
+}  // namespace gmark
+
+#endif  // GMARK_ANALYSIS_RUNNER_H_

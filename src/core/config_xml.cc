@@ -1,0 +1,212 @@
+#include "core/config_xml.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace gmark {
+
+namespace {
+
+Result<OccurrenceConstraint> ParseOccurrence(const XmlNode& node,
+                                             const std::string& what) {
+  if (node.has_attr("fixed")) {
+    GMARK_ASSIGN_OR_RETURN(int64_t v, ParseInt(node.attr("fixed")));
+    return OccurrenceConstraint::Fixed(v);
+  }
+  if (node.has_attr("proportion")) {
+    GMARK_ASSIGN_OR_RETURN(double p, ParseDouble(node.attr("proportion")));
+    return OccurrenceConstraint::Proportion(p);
+  }
+  return Status::InvalidArgument(what +
+                                 " needs a 'fixed' or 'proportion' attribute");
+}
+
+Result<DistributionSpec> ParseDistribution(const XmlNode* node) {
+  if (node == nullptr) return DistributionSpec::NonSpecified();
+  GMARK_ASSIGN_OR_RETURN(DistributionType type,
+                         ParseDistributionType(node->attr("type")));
+  switch (type) {
+    case DistributionType::kNonSpecified:
+      return DistributionSpec::NonSpecified();
+    case DistributionType::kUniform: {
+      GMARK_ASSIGN_OR_RETURN(int64_t lo, ParseInt(node->attr("min")));
+      GMARK_ASSIGN_OR_RETURN(int64_t hi, ParseInt(node->attr("max")));
+      return DistributionSpec::Uniform(lo, hi);
+    }
+    case DistributionType::kGaussian: {
+      GMARK_ASSIGN_OR_RETURN(double mu, ParseDouble(node->attr("mu")));
+      GMARK_ASSIGN_OR_RETURN(double sigma, ParseDouble(node->attr("sigma")));
+      return DistributionSpec::Gaussian(mu, sigma);
+    }
+    case DistributionType::kZipfian: {
+      GMARK_ASSIGN_OR_RETURN(double s, ParseDouble(node->attr("s")));
+      return DistributionSpec::Zipfian(s);
+    }
+  }
+  return Status::Internal("unreachable distribution type");
+}
+
+void AppendDistribution(XmlNode* parent, const std::string& tag,
+                        const DistributionSpec& dist) {
+  XmlNode& node = parent->AddChild(tag);
+  node.set_attr("type", DistributionTypeName(dist.type));
+  switch (dist.type) {
+    case DistributionType::kNonSpecified:
+      break;
+    case DistributionType::kUniform:
+      node.set_attr("min",
+                    std::to_string(static_cast<int64_t>(dist.param1)));
+      node.set_attr("max",
+                    std::to_string(static_cast<int64_t>(dist.param2)));
+      break;
+    case DistributionType::kGaussian:
+      node.set_attr("mu", FormatDouble(dist.param1));
+      node.set_attr("sigma", FormatDouble(dist.param2));
+      break;
+    case DistributionType::kZipfian:
+      node.set_attr("s", FormatDouble(dist.param1));
+      break;
+  }
+}
+
+void AppendOccurrence(XmlNode* node, const OccurrenceConstraint& occ) {
+  if (occ.is_fixed) {
+    node->set_attr("fixed", std::to_string(occ.fixed_count));
+  } else {
+    node->set_attr("proportion", FormatDouble(occ.proportion));
+  }
+}
+
+}  // namespace
+
+Result<GraphConfiguration> ParseGraphConfigElement(const XmlNode& graph) {
+  GraphConfiguration config;
+  if (graph.has_attr("name")) config.name = graph.attr("name");
+  if (!graph.has_attr("nodes")) {
+    return Status::InvalidArgument("<graph> needs a 'nodes' attribute");
+  }
+  GMARK_ASSIGN_OR_RETURN(config.num_nodes, ParseInt(graph.attr("nodes")));
+  if (graph.has_attr("seed")) {
+    GMARK_ASSIGN_OR_RETURN(int64_t seed, ParseInt(graph.attr("seed")));
+    config.seed = static_cast<uint64_t>(seed);
+  }
+
+  const XmlNode* types = graph.FindChild("types");
+  if (types == nullptr) {
+    return Status::InvalidArgument("<graph> needs a <types> section");
+  }
+  for (const XmlNode* t : types->FindChildren("type")) {
+    GMARK_ASSIGN_OR_RETURN(OccurrenceConstraint occ,
+                           ParseOccurrence(*t, "<type>"));
+    auto added = config.schema.AddType(t->attr("name"), occ);
+    GMARK_RETURN_NOT_OK(added.status());
+  }
+
+  if (const XmlNode* preds = graph.FindChild("predicates")) {
+    for (const XmlNode* p : preds->FindChildren("predicate")) {
+      std::optional<OccurrenceConstraint> occ;
+      if (p->has_attr("fixed") || p->has_attr("proportion")) {
+        GMARK_ASSIGN_OR_RETURN(OccurrenceConstraint parsed,
+                               ParseOccurrence(*p, "<predicate>"));
+        occ = parsed;
+      }
+      auto added = config.schema.AddPredicate(p->attr("name"), occ);
+      GMARK_RETURN_NOT_OK(added.status());
+    }
+  }
+
+  if (const XmlNode* constraints = graph.FindChild("constraints")) {
+    for (const XmlNode* c : constraints->FindChildren("constraint")) {
+      // Predicates may be declared implicitly by first use.
+      const std::string pred = c->attr("predicate");
+      if (!config.schema.PredicateIdOf(pred).ok()) {
+        auto added = config.schema.AddPredicate(pred);
+        GMARK_RETURN_NOT_OK(added.status());
+      }
+      GMARK_ASSIGN_OR_RETURN(
+          DistributionSpec in,
+          ParseDistribution(c->FindChild("inDistribution")));
+      GMARK_ASSIGN_OR_RETURN(
+          DistributionSpec out,
+          ParseDistribution(c->FindChild("outDistribution")));
+      GMARK_RETURN_NOT_OK(config.schema.AddEdgeConstraintByName(
+          c->attr("source"), pred, c->attr("target"), in, out));
+    }
+  }
+  GMARK_RETURN_NOT_OK(config.Validate());
+  return config;
+}
+
+Result<GraphConfiguration> ParseGraphConfigXml(const std::string& xml) {
+  GMARK_ASSIGN_OR_RETURN(XmlNode root, ParseXml(xml));
+  const XmlNode* graph = &root;
+  if (root.name() != "graph") {
+    graph = root.FindChild("graph");
+    if (graph == nullptr) {
+      return Status::InvalidArgument(
+          "expected a <graph> element (directly or under the root)");
+    }
+  }
+  return ParseGraphConfigElement(*graph);
+}
+
+std::string GraphConfigToXml(const GraphConfiguration& config) {
+  XmlNode root("gmark");
+  XmlNode& graph = root.AddChild("graph");
+  graph.set_attr("name", config.name);
+  graph.set_attr("nodes", std::to_string(config.num_nodes));
+  graph.set_attr("seed", std::to_string(config.seed));
+
+  XmlNode& types = graph.AddChild("types");
+  for (const auto& t : config.schema.types()) {
+    XmlNode& node = types.AddChild("type");
+    node.set_attr("name", t.name);
+    AppendOccurrence(&node, t.occurrence);
+  }
+  XmlNode& preds = graph.AddChild("predicates");
+  for (const auto& p : config.schema.predicates()) {
+    XmlNode& node = preds.AddChild("predicate");
+    node.set_attr("name", p.name);
+    if (p.occurrence.has_value()) AppendOccurrence(&node, *p.occurrence);
+  }
+  XmlNode& constraints = graph.AddChild("constraints");
+  for (const auto& c : config.schema.edge_constraints()) {
+    XmlNode& node = constraints.AddChild("constraint");
+    node.set_attr("source", config.schema.TypeName(c.source_type));
+    node.set_attr("predicate", config.schema.PredicateName(c.predicate));
+    node.set_attr("target", config.schema.TypeName(c.target_type));
+    AppendDistribution(&node, "inDistribution", c.in_dist);
+    AppendDistribution(&node, "outDistribution", c.out_dist);
+  }
+  return root.ToString();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Status WriteStringToFile(const std::string& content, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << content;
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<GraphConfiguration> LoadGraphConfig(const std::string& path) {
+  GMARK_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  return ParseGraphConfigXml(content);
+}
+
+Status SaveGraphConfig(const GraphConfiguration& config,
+                       const std::string& path) {
+  return WriteStringToFile(GraphConfigToXml(config), path);
+}
+
+}  // namespace gmark

@@ -1,0 +1,58 @@
+// XML syntax for graph configurations (the left-hand input of Fig. 1).
+//
+// Example document:
+//
+//   <gmark>
+//     <graph name="Bib" nodes="10000" seed="42">
+//       <types>
+//         <type name="researcher" proportion="0.5"/>
+//         <type name="city" fixed="100"/>
+//       </types>
+//       <predicates>
+//         <predicate name="authors" proportion="0.5"/>
+//       </predicates>
+//       <constraints>
+//         <constraint source="researcher" predicate="authors" target="paper">
+//           <inDistribution type="gaussian" mu="3" sigma="1"/>
+//           <outDistribution type="zipfian" s="2.5"/>
+//         </constraint>
+//       </constraints>
+//     </graph>
+//   </gmark>
+
+#ifndef GMARK_CORE_CONFIG_XML_H_
+#define GMARK_CORE_CONFIG_XML_H_
+
+#include <string>
+
+#include "core/graph_config.h"
+#include "util/result.h"
+#include "util/xml.h"
+
+namespace gmark {
+
+/// \brief Parse a graph configuration from an XML document string.
+Result<GraphConfiguration> ParseGraphConfigXml(const std::string& xml);
+
+/// \brief Parse from an already-parsed <graph> element.
+Result<GraphConfiguration> ParseGraphConfigElement(const XmlNode& graph);
+
+/// \brief Serialize a configuration to the XML syntax above.
+std::string GraphConfigToXml(const GraphConfiguration& config);
+
+/// \brief Load a configuration from a file on disk.
+Result<GraphConfiguration> LoadGraphConfig(const std::string& path);
+
+/// \brief Write a configuration to a file on disk.
+Status SaveGraphConfig(const GraphConfiguration& config,
+                       const std::string& path);
+
+/// \brief Read a whole file into a string (shared helper).
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// \brief Write a string to a file, replacing its contents.
+Status WriteStringToFile(const std::string& content, const std::string& path);
+
+}  // namespace gmark
+
+#endif  // GMARK_CORE_CONFIG_XML_H_

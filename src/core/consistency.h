@@ -1,0 +1,46 @@
+// Schema consistency checking (paper §3.2/§4): the in- and out-degree
+// distributions of each eta constraint must imply compatible edge
+// counts. gMark never aborts generation on inconsistency (Thm. 3.6 makes
+// exact satisfaction intractable); instead this reporter surfaces the
+// mismatches the generator will silently relax.
+
+#ifndef GMARK_CORE_CONSISTENCY_H_
+#define GMARK_CORE_CONSISTENCY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/graph_config.h"
+
+namespace gmark {
+
+/// \brief Diagnostic for one eta constraint.
+struct ConsistencyFinding {
+  size_t constraint_index = 0;
+  std::string description;
+  double expected_from_out = 0.0;  ///< n_T1 * E[Dout].
+  double expected_from_in = 0.0;   ///< n_T2 * E[Din].
+  /// |out - in| / max(out, in); 0 when only one side is specified.
+  double relative_gap = 0.0;
+  bool consistent = true;
+};
+
+/// \brief Full report over a configuration.
+struct ConsistencyReport {
+  std::vector<ConsistencyFinding> findings;
+  /// \brief True if every specified in/out pair agrees within tolerance.
+  bool all_consistent = true;
+
+  std::string ToString() const;
+};
+
+/// \brief Check every eta constraint of the configuration.
+///
+/// A constraint with both sides specified is consistent when the edge
+/// counts implied by the two sides agree within `tolerance` (relative).
+Result<ConsistencyReport> CheckConsistency(const GraphConfiguration& config,
+                                           double tolerance = 0.25);
+
+}  // namespace gmark
+
+#endif  // GMARK_CORE_CONSISTENCY_H_

@@ -1,0 +1,117 @@
+#include "core/distribution.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/string_util.h"
+#include "util/zipf.h"
+
+namespace gmark {
+
+const char* DistributionTypeName(DistributionType type) {
+  switch (type) {
+    case DistributionType::kNonSpecified:
+      return "nonspecified";
+    case DistributionType::kUniform:
+      return "uniform";
+    case DistributionType::kGaussian:
+      return "gaussian";
+    case DistributionType::kZipfian:
+      return "zipfian";
+  }
+  return "unknown";
+}
+
+Result<DistributionType> ParseDistributionType(const std::string& name) {
+  if (name == "uniform") return DistributionType::kUniform;
+  if (name == "gaussian" || name == "normal") {
+    return DistributionType::kGaussian;
+  }
+  if (name == "zipfian" || name == "zipf") return DistributionType::kZipfian;
+  if (name == "nonspecified" || name == "non-specified" || name.empty()) {
+    return DistributionType::kNonSpecified;
+  }
+  return Status::InvalidArgument("unknown distribution type: " + name);
+}
+
+int64_t DistributionSpec::Draw(RandomEngine* rng, int64_t support_max) const {
+  switch (type) {
+    case DistributionType::kNonSpecified:
+      return 0;
+    case DistributionType::kUniform:
+      return rng->UniformInt(static_cast<int64_t>(param1),
+                             static_cast<int64_t>(param2));
+    case DistributionType::kGaussian:
+      return rng->GaussianInt(param1, param2);
+    case DistributionType::kZipfian: {
+      ZipfSampler sampler(param1, support_max < 1 ? 1 : support_max);
+      return sampler.Sample(rng);
+    }
+  }
+  return 0;
+}
+
+double DistributionSpec::Mean(int64_t support_max) const {
+  switch (type) {
+    case DistributionType::kNonSpecified:
+      return 0.0;
+    case DistributionType::kUniform:
+      return (param1 + param2) / 2.0;
+    case DistributionType::kGaussian:
+      return param1 < 0.0 ? 0.0 : param1;
+    case DistributionType::kZipfian: {
+      ZipfSampler sampler(param1, support_max < 1 ? 1 : support_max);
+      return sampler.Mean();
+    }
+  }
+  return 0.0;
+}
+
+Status DistributionSpec::Validate() const {
+  switch (type) {
+    case DistributionType::kNonSpecified:
+      return Status::OK();
+    case DistributionType::kUniform:
+      if (param1 < 0 || param2 < param1) {
+        return Status::InvalidArgument(
+            "uniform distribution requires 0 <= min <= max, got " +
+            ToString());
+      }
+      return Status::OK();
+    case DistributionType::kGaussian:
+      if (param2 < 0) {
+        return Status::InvalidArgument("gaussian sigma must be >= 0, got " +
+                                       ToString());
+      }
+      return Status::OK();
+    case DistributionType::kZipfian:
+      if (param1 <= 0) {
+        return Status::InvalidArgument("zipfian exponent must be > 0, got " +
+                                       ToString());
+      }
+      return Status::OK();
+  }
+  return Status::Internal("corrupt distribution type");
+}
+
+std::string DistributionSpec::ToString() const {
+  std::ostringstream os;
+  os << DistributionTypeName(type);
+  switch (type) {
+    case DistributionType::kNonSpecified:
+      break;
+    case DistributionType::kUniform:
+      os << '[' << static_cast<int64_t>(param1) << ','
+         << static_cast<int64_t>(param2) << ']';
+      break;
+    case DistributionType::kGaussian:
+      os << '(' << FormatDouble(param1) << ',' << FormatDouble(param2) << ')';
+      break;
+    case DistributionType::kZipfian:
+      os << '(' << FormatDouble(param1) << ')';
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace gmark

@@ -1,0 +1,49 @@
+#include "core/graph_config.h"
+
+#include <algorithm>
+
+namespace gmark {
+
+Status GraphConfiguration::Validate() const {
+  if (num_nodes <= 0) {
+    return Status::InvalidArgument("graph size must be positive, got " +
+                                   std::to_string(num_nodes));
+  }
+  return schema.Validate();
+}
+
+Result<NodeLayout> NodeLayout::Create(const GraphConfiguration& config) {
+  GMARK_RETURN_NOT_OK(config.Validate());
+  const GraphSchema& schema = config.schema;
+  NodeLayout layout;
+  layout.counts_.resize(schema.type_count(), 0);
+  layout.offsets_.resize(schema.type_count(), 0);
+  for (size_t t = 0; t < schema.type_count(); ++t) {
+    const OccurrenceConstraint& occ = schema.types()[t].occurrence;
+    if (occ.is_fixed) {
+      layout.counts_[t] = occ.fixed_count;
+    } else {
+      layout.counts_[t] = static_cast<int64_t>(
+          occ.proportion * static_cast<double>(config.num_nodes) + 0.5);
+    }
+  }
+  NodeId offset = 0;
+  for (size_t t = 0; t < schema.type_count(); ++t) {
+    layout.offsets_[t] = offset;
+    offset += static_cast<NodeId>(layout.counts_[t]);
+  }
+  layout.total_ = static_cast<int64_t>(offset);
+  if (layout.total_ == 0) {
+    return Status::InvalidArgument(
+        "configuration produces an empty graph (all type counts are 0)");
+  }
+  return layout;
+}
+
+TypeId NodeLayout::TypeOf(NodeId node) const {
+  // offsets_ is sorted; find the last offset <= node.
+  auto it = std::upper_bound(offsets_.begin(), offsets_.end(), node);
+  return static_cast<TypeId>(std::distance(offsets_.begin(), it) - 1);
+}
+
+}  // namespace gmark

@@ -1,0 +1,62 @@
+// Graph configuration G = (n, S) — Definition 3.2 — plus the node
+// layout derived from it (how many nodes of each type, and where they
+// live in the dense id space).
+
+#ifndef GMARK_CORE_GRAPH_CONFIG_H_
+#define GMARK_CORE_GRAPH_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/schema.h"
+#include "util/result.h"
+
+namespace gmark {
+
+using NodeId = uint64_t;
+
+/// \brief The input of the graph generator: a requested size, a schema,
+/// and a seed making generation deterministic.
+struct GraphConfiguration {
+  std::string name = "unnamed";
+  int64_t num_nodes = 0;
+  GraphSchema schema;
+  uint64_t seed = 42;
+
+  Status Validate() const;
+};
+
+/// \brief Concrete node counts per type and their contiguous id ranges.
+///
+/// Fixed-count types get exactly their count; proportional types get
+/// round(p * n). Nodes of type t occupy ids [offset(t), offset(t)+count(t)).
+/// The realized total may differ slightly from the requested n; the
+/// realized value is what "graph size" means downstream.
+class NodeLayout {
+ public:
+  /// \brief Compute the layout for a configuration.
+  static Result<NodeLayout> Create(const GraphConfiguration& config);
+
+  int64_t total_nodes() const { return total_; }
+  int64_t CountOf(TypeId t) const { return counts_[t]; }
+  NodeId OffsetOf(TypeId t) const { return offsets_[t]; }
+
+  /// \brief Global id of the j-th node (0-based) of type t — the paper's
+  /// id_T(j).
+  NodeId GlobalId(TypeId t, int64_t j) const { return offsets_[t] + j; }
+
+  /// \brief Type owning a global node id (O(log #types)).
+  TypeId TypeOf(NodeId node) const;
+
+  size_t type_count() const { return counts_.size(); }
+
+ private:
+  std::vector<int64_t> counts_;
+  std::vector<NodeId> offsets_;
+  int64_t total_ = 0;
+};
+
+}  // namespace gmark
+
+#endif  // GMARK_CORE_GRAPH_CONFIG_H_

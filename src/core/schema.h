@@ -1,0 +1,153 @@
+// Graph schema S = (Sigma, Theta, T, eta) — Definition 3.1 of the paper.
+//
+// Sigma: edge predicates; Theta: node types; T: occurrence constraints
+// (a proportion of the graph or a fixed count) for types and predicates;
+// eta: a partial function mapping (source type, target type, predicate)
+// to a pair of in-/out-degree distributions.
+
+#ifndef GMARK_CORE_SCHEMA_H_
+#define GMARK_CORE_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/distribution.h"
+#include "util/result.h"
+
+namespace gmark {
+
+using TypeId = uint32_t;
+using PredicateId = uint32_t;
+
+/// \brief Occurrence constraint from T: either a proportion of the graph
+/// size or a fixed absolute count (Fig. 2a/2b of the paper).
+struct OccurrenceConstraint {
+  bool is_fixed = false;
+  double proportion = 0.0;  ///< Used when !is_fixed; in [0, 1].
+  int64_t fixed_count = 0;  ///< Used when is_fixed.
+
+  static OccurrenceConstraint Proportion(double p) {
+    OccurrenceConstraint c;
+    c.is_fixed = false;
+    c.proportion = p;
+    return c;
+  }
+  static OccurrenceConstraint Fixed(int64_t count) {
+    OccurrenceConstraint c;
+    c.is_fixed = true;
+    c.fixed_count = count;
+    return c;
+  }
+
+  /// \brief "50%" or "fixed(100)".
+  std::string ToString() const;
+};
+
+/// \brief One eta constraint: eta(T1, T2, a) = (Din, Dout) (Fig. 2c).
+struct EdgeConstraint {
+  TypeId source_type = 0;
+  TypeId target_type = 0;
+  PredicateId predicate = 0;
+  DistributionSpec in_dist;   ///< Distribution of target in-degrees.
+  DistributionSpec out_dist;  ///< Distribution of source out-degrees.
+};
+
+/// \brief A node type declaration.
+struct NodeTypeDef {
+  std::string name;
+  OccurrenceConstraint occurrence;
+};
+
+/// \brief An edge predicate (label) declaration.
+struct PredicateDef {
+  std::string name;
+  /// Optional occurrence constraint (Fig. 2b). Used for validation and,
+  /// when both degree distributions of a constraint are non-specified,
+  /// as the edge-count source.
+  std::optional<OccurrenceConstraint> occurrence;
+};
+
+/// \brief The schema: registries for types and predicates plus the eta
+/// edge constraints. Build with the Add* methods; ids are dense indexes.
+class GraphSchema {
+ public:
+  /// \brief Register a node type; names must be unique.
+  Result<TypeId> AddType(const std::string& name,
+                         OccurrenceConstraint occurrence);
+
+  /// \brief Register an edge predicate; names must be unique.
+  Result<PredicateId> AddPredicate(
+      const std::string& name,
+      std::optional<OccurrenceConstraint> occurrence = std::nullopt);
+
+  /// \brief Register eta(source, target, predicate) = (in, out).
+  ///
+  /// Fails if ids are out of range, a distribution is invalid, or the
+  /// same (source, target, predicate) triple was already constrained.
+  Status AddEdgeConstraint(TypeId source, TypeId target, PredicateId pred,
+                           DistributionSpec in_dist,
+                           DistributionSpec out_dist);
+
+  /// \brief Convenience overload resolving names; types/predicates must
+  /// already exist.
+  Status AddEdgeConstraintByName(const std::string& source,
+                                 const std::string& predicate,
+                                 const std::string& target,
+                                 DistributionSpec in_dist,
+                                 DistributionSpec out_dist);
+
+  /// \brief Paper macro "1": non-specified in, uniform [1,1] out.
+  Status AddEdgeOne(const std::string& source, const std::string& predicate,
+                    const std::string& target) {
+    return AddEdgeConstraintByName(source, predicate, target,
+                                   DistributionSpec::NonSpecified(),
+                                   DistributionSpec::Uniform(1, 1));
+  }
+  /// \brief Paper macro "?": non-specified in, uniform [0,1] out.
+  Status AddEdgeOptional(const std::string& source,
+                         const std::string& predicate,
+                         const std::string& target) {
+    return AddEdgeConstraintByName(source, predicate, target,
+                                   DistributionSpec::NonSpecified(),
+                                   DistributionSpec::Uniform(0, 1));
+  }
+
+  size_t type_count() const { return types_.size(); }
+  size_t predicate_count() const { return predicates_.size(); }
+  const std::vector<NodeTypeDef>& types() const { return types_; }
+  const std::vector<PredicateDef>& predicates() const { return predicates_; }
+  const std::vector<EdgeConstraint>& edge_constraints() const {
+    return constraints_;
+  }
+
+  const std::string& TypeName(TypeId id) const { return types_[id].name; }
+  const std::string& PredicateName(PredicateId id) const {
+    return predicates_[id].name;
+  }
+
+  /// \brief Lookup by name.
+  Result<TypeId> TypeIdOf(const std::string& name) const;
+  Result<PredicateId> PredicateIdOf(const std::string& name) const;
+
+  /// \brief True if T(type) is a fixed count — i.e. Type(T) = 1 in the
+  /// selectivity algebra (§5.2.2); proportional types are Type(T) = N.
+  bool IsFixedType(TypeId id) const { return types_[id].occurrence.is_fixed; }
+
+  /// \brief Structural validation: at least one type, proportions in
+  /// range, distributions valid.
+  Status Validate() const;
+
+ private:
+  std::vector<NodeTypeDef> types_;
+  std::vector<PredicateDef> predicates_;
+  std::vector<EdgeConstraint> constraints_;
+  std::unordered_map<std::string, TypeId> type_index_;
+  std::unordered_map<std::string, PredicateId> predicate_index_;
+};
+
+}  // namespace gmark
+
+#endif  // GMARK_CORE_SCHEMA_H_

@@ -1,0 +1,66 @@
+#include "engine/automaton.h"
+
+namespace gmark {
+
+size_t Nfa::transition_count() const {
+  size_t total = 0;
+  for (const auto& t : transitions_) total += t.size();
+  return total;
+}
+
+Result<uint32_t> Nfa::AppendRegex(const RegularExpression& expr,
+                                  uint32_t from) {
+  if (expr.disjuncts.empty()) {
+    return Status::InvalidArgument("regular expression with no disjuncts");
+  }
+  if (expr.star) {
+    // (P1 + ... + Pk)*: every path loops on `from`.
+    for (const PathExpr& path : expr.disjuncts) {
+      uint32_t current = from;
+      for (size_t i = 0; i < path.size(); ++i) {
+        uint32_t next = (i + 1 == path.size()) ? from : NewState();
+        AddTransition(current, path[i], next);
+        current = next;
+      }
+      // An empty path under a star is just epsilon; nothing to add.
+    }
+    return from;
+  }
+  // (P1 + ... + Pk): all paths go from `from` to a fresh accept state.
+  // An empty disjunct (epsilon) would need an epsilon edge; the gMark
+  // generator never emits one outside a star.
+  uint32_t end = NewState();
+  for (const PathExpr& path : expr.disjuncts) {
+    if (path.empty()) {
+      return Status::Unsupported(
+          "epsilon disjunct outside a Kleene star is not supported");
+    }
+    uint32_t current = from;
+    for (size_t i = 0; i < path.size(); ++i) {
+      uint32_t next = (i + 1 == path.size()) ? end : NewState();
+      AddTransition(current, path[i], next);
+      current = next;
+    }
+  }
+  return end;
+}
+
+Result<Nfa> Nfa::FromRegex(const RegularExpression& expr) {
+  Nfa nfa;
+  nfa.start_ = nfa.NewState();
+  GMARK_ASSIGN_OR_RETURN(nfa.accept_, nfa.AppendRegex(expr, nfa.start_));
+  return nfa;
+}
+
+Result<Nfa> Nfa::FromConjunctChain(const std::vector<Conjunct>& chain) {
+  Nfa nfa;
+  nfa.start_ = nfa.NewState();
+  uint32_t current = nfa.start_;
+  for (const Conjunct& c : chain) {
+    GMARK_ASSIGN_OR_RETURN(current, nfa.AppendRegex(c.expr, current));
+  }
+  nfa.accept_ = current;
+  return nfa;
+}
+
+}  // namespace gmark

@@ -1,0 +1,71 @@
+// Conversion of gMark's normal-form regular expressions into NFAs over
+// the symbol alphabet {a, a^- : a in Sigma}. Because expressions are
+// (P1 + ... + Pk) or (P1 + ... + Pk)*, the construction is direct and
+// epsilon-free: disjunct paths are spliced between the start and accept
+// states (non-star) or looped on a single state (star). Chains of
+// conjuncts concatenate by fusing accept(i) with start(i+1), which is
+// how the reference evaluator turns a binary chain query into a single
+// RPQ.
+
+#ifndef GMARK_ENGINE_AUTOMATON_H_
+#define GMARK_ENGINE_AUTOMATON_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "query/query.h"
+#include "util/result.h"
+
+namespace gmark {
+
+/// \brief One NFA transition: consume `symbol`, move to `to`.
+struct NfaTransition {
+  Symbol symbol;
+  uint32_t to = 0;
+};
+
+/// \brief Epsilon-free NFA with a single start and a single accept
+/// state (they may coincide, in which case the empty word is accepted).
+class Nfa {
+ public:
+  /// \brief Build from one regular expression.
+  static Result<Nfa> FromRegex(const RegularExpression& expr);
+
+  /// \brief Build from a chain of conjuncts (?x0,r1,?x1),...,(?,rk,?xk):
+  /// the automaton of r1 . r2 . ... . rk.
+  static Result<Nfa> FromConjunctChain(const std::vector<Conjunct>& chain);
+
+  uint32_t start() const { return start_; }
+  uint32_t accept() const { return accept_; }
+  size_t state_count() const { return transitions_.size(); }
+
+  /// \brief True when the empty word is accepted (start == accept).
+  bool AcceptsEpsilon() const { return start_ == accept_; }
+
+  std::span<const NfaTransition> TransitionsFrom(uint32_t state) const {
+    return transitions_[state];
+  }
+
+  /// \brief Total number of transitions (for cost accounting).
+  size_t transition_count() const;
+
+ private:
+  uint32_t NewState() {
+    transitions_.emplace_back();
+    return static_cast<uint32_t>(transitions_.size() - 1);
+  }
+  void AddTransition(uint32_t from, Symbol symbol, uint32_t to) {
+    transitions_[from].push_back(NfaTransition{symbol, to});
+  }
+  // Splice one regex between `from` and a returned end state.
+  Result<uint32_t> AppendRegex(const RegularExpression& expr, uint32_t from);
+
+  uint32_t start_ = 0;
+  uint32_t accept_ = 0;
+  std::vector<std::vector<NfaTransition>> transitions_;
+};
+
+}  // namespace gmark
+
+#endif  // GMARK_ENGINE_AUTOMATON_H_

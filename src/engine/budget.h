@@ -1,0 +1,71 @@
+// Resource budgets for query evaluation. The paper's §7 experiments
+// observe engines failing on queries (timeouts, memory blowups); our
+// simulated engines reproduce those outcomes honestly by charging their
+// real work against a budget instead of hard-coding failures.
+
+#ifndef GMARK_ENGINE_BUDGET_H_
+#define GMARK_ENGINE_BUDGET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace gmark {
+
+/// \brief Limits for one query evaluation.
+struct ResourceBudget {
+  /// Wall-clock limit in seconds.
+  double timeout_seconds = std::numeric_limits<double>::infinity();
+  /// Maximum number of materialized tuples (working memory proxy).
+  size_t max_tuples = std::numeric_limits<size_t>::max();
+
+  static ResourceBudget Unlimited() { return ResourceBudget{}; }
+  static ResourceBudget Limited(double seconds, size_t tuples) {
+    return ResourceBudget{seconds, tuples};
+  }
+};
+
+/// \brief Tracks consumption against a budget during one evaluation.
+class BudgetTracker {
+ public:
+  explicit BudgetTracker(const ResourceBudget& budget) : budget_(budget) {}
+
+  /// \brief Account for newly materialized tuples.
+  Status ChargeTuples(size_t count) {
+    tuples_ += count;
+    if (tuples_ > budget_.max_tuples) {
+      return Status::ResourceExhausted(
+          "tuple budget exceeded (" + std::to_string(tuples_) + " > " +
+          std::to_string(budget_.max_tuples) + ")");
+    }
+    return Status::OK();
+  }
+
+  /// \brief Release tuples freed by the operator pipeline.
+  void ReleaseTuples(size_t count) {
+    tuples_ = count > tuples_ ? 0 : tuples_ - count;
+  }
+
+  /// \brief Check the wall-clock limit (call periodically).
+  Status CheckTime() const {
+    if (timer_.ElapsedSeconds() > budget_.timeout_seconds) {
+      return Status::ResourceExhausted("evaluation timed out");
+    }
+    return Status::OK();
+  }
+
+  size_t tuples_used() const { return tuples_; }
+  double elapsed_seconds() const { return timer_.ElapsedSeconds(); }
+
+ private:
+  ResourceBudget budget_;
+  WallTimer timer_;
+  size_t tuples_ = 0;
+};
+
+}  // namespace gmark
+
+#endif  // GMARK_ENGINE_BUDGET_H_

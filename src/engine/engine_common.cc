@@ -1,0 +1,155 @@
+#include "engine/engine_common.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "engine/relation.h"
+
+namespace gmark {
+
+namespace {
+
+/// Pack a pair for hashing; node ids fit comfortably in 32 bits at the
+/// graph sizes the engines run on.
+uint64_t PackPair(NodeId a, NodeId b) { return (a << 32) | (b & 0xffffffff); }
+
+}  // namespace
+
+NodePairs SymbolPairs(const Graph& graph, const Symbol& symbol) {
+  NodePairs pairs = graph.EdgesOf(symbol.predicate);
+  if (symbol.inverse) {
+    for (auto& [s, t] : pairs) std::swap(s, t);
+  }
+  return pairs;
+}
+
+Result<NodePairs> ComposePathPairs(const Graph& graph, const PathExpr& path,
+                                   bool set_semantics,
+                                   BudgetTracker* budget) {
+  if (path.empty()) {
+    return Status::InvalidArgument("cannot compose an empty path");
+  }
+  NodePairs current = SymbolPairs(graph, path[0]);
+  GMARK_RETURN_NOT_OK(budget->ChargeTuples(current.size()));
+  for (size_t i = 1; i < path.size(); ++i) {
+    GMARK_RETURN_NOT_OK(budget->CheckTime());
+    const Symbol& sym = path[i];
+    NodePairs next;
+    std::unordered_set<uint64_t> seen;
+    for (const auto& [x, mid] : current) {
+      auto neighbors = sym.inverse
+                           ? graph.InNeighbors(sym.predicate, mid)
+                           : graph.OutNeighbors(sym.predicate, mid);
+      for (NodeId w : neighbors) {
+        if (set_semantics && !seen.insert(PackPair(x, w)).second) continue;
+        GMARK_RETURN_NOT_OK(budget->ChargeTuples(1));
+        next.emplace_back(x, w);
+      }
+    }
+    budget->ReleaseTuples(current.size());
+    current = std::move(next);
+  }
+  return current;
+}
+
+Result<NodePairs> RegexBasePairs(const Graph& graph,
+                                 const RegularExpression& expr,
+                                 bool set_semantics, BudgetTracker* budget) {
+  NodePairs base;
+  for (const PathExpr& path : expr.disjuncts) {
+    GMARK_ASSIGN_OR_RETURN(
+        NodePairs part, ComposePathPairs(graph, path, set_semantics, budget));
+    base.insert(base.end(), part.begin(), part.end());
+    budget->ReleaseTuples(part.size());
+  }
+  // UNION (not UNION ALL): disjunction is set-oriented in every dialect.
+  DedupPairs(&base);
+  GMARK_RETURN_NOT_OK(budget->ChargeTuples(base.size()));
+  return base;
+}
+
+Result<NodePairs> ClosureNaive(const Graph& graph, const NodePairs& base,
+                               BudgetTracker* budget) {
+  const NodeId n = static_cast<NodeId>(graph.num_nodes());
+  std::unordered_set<uint64_t> known;
+  NodePairs result;
+  result.reserve(static_cast<size_t>(n) + base.size());
+  for (NodeId v = 0; v < n; ++v) {
+    known.insert(PackPair(v, v));
+    result.emplace_back(v, v);
+  }
+  GMARK_RETURN_NOT_OK(budget->ChargeTuples(result.size()));
+
+  // Index the base relation by source for the join.
+  std::unordered_multimap<NodeId, NodeId> base_by_src;
+  base_by_src.reserve(base.size());
+  for (const auto& [s, t] : base) base_by_src.emplace(s, t);
+
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    GMARK_RETURN_NOT_OK(budget->CheckTime());
+    // Naive: rescan the ENTIRE accumulated relation every round.
+    NodePairs additions;
+    for (const auto& [x, mid] : result) {
+      auto range = base_by_src.equal_range(mid);
+      for (auto it = range.first; it != range.second; ++it) {
+        if (known.insert(PackPair(x, it->second)).second) {
+          GMARK_RETURN_NOT_OK(budget->ChargeTuples(1));
+          additions.emplace_back(x, it->second);
+        }
+      }
+    }
+    if (!additions.empty()) {
+      grew = true;
+      result.insert(result.end(), additions.begin(), additions.end());
+    }
+  }
+  return result;
+}
+
+Result<NodePairs> ClosureSemiNaive(const Graph& graph, const NodePairs& base,
+                                   BudgetTracker* budget) {
+  const NodeId n = static_cast<NodeId>(graph.num_nodes());
+  std::unordered_set<uint64_t> known;
+  NodePairs result;
+  result.reserve(static_cast<size_t>(n) + base.size());
+  for (NodeId v = 0; v < n; ++v) {
+    known.insert(PackPair(v, v));
+    result.emplace_back(v, v);
+  }
+  GMARK_RETURN_NOT_OK(budget->ChargeTuples(result.size()));
+
+  std::unordered_multimap<NodeId, NodeId> base_by_src;
+  base_by_src.reserve(base.size());
+  for (const auto& [s, t] : base) base_by_src.emplace(s, t);
+
+  // Seed the delta with the base (paths of length exactly 1).
+  NodePairs delta;
+  for (const auto& [s, t] : base) {
+    if (known.insert(PackPair(s, t)).second) {
+      GMARK_RETURN_NOT_OK(budget->ChargeTuples(1));
+      delta.emplace_back(s, t);
+      result.emplace_back(s, t);
+    }
+  }
+  while (!delta.empty()) {
+    GMARK_RETURN_NOT_OK(budget->CheckTime());
+    NodePairs next_delta;
+    // Semi-naive: only the delta is extended.
+    for (const auto& [x, mid] : delta) {
+      auto range = base_by_src.equal_range(mid);
+      for (auto it = range.first; it != range.second; ++it) {
+        if (known.insert(PackPair(x, it->second)).second) {
+          GMARK_RETURN_NOT_OK(budget->ChargeTuples(1));
+          next_delta.emplace_back(x, it->second);
+          result.emplace_back(x, it->second);
+        }
+      }
+    }
+    delta = std::move(next_delta);
+  }
+  return result;
+}
+
+}  // namespace gmark

@@ -1,0 +1,51 @@
+// Internal building blocks shared by the engine simulators: bulk path
+// composition (relational-style) and transitive-closure strategies
+// (naive vs semi-naive), which is exactly where the paper's P and D
+// systems differ on recursive queries.
+
+#ifndef GMARK_ENGINE_ENGINE_COMMON_H_
+#define GMARK_ENGINE_ENGINE_COMMON_H_
+
+#include <vector>
+
+#include "engine/budget.h"
+#include "graph/graph.h"
+#include "query/query.h"
+#include "util/result.h"
+
+namespace gmark {
+
+using NodePairs = std::vector<std::pair<NodeId, NodeId>>;
+
+/// \brief All edges matching one symbol, as (source, target) pairs
+/// (inverse symbols swap the roles).
+NodePairs SymbolPairs(const Graph& graph, const Symbol& symbol);
+
+/// \brief Relational evaluation of one concatenation path: start from
+/// the first symbol's edge relation and compose stepwise through the
+/// adjacency index. With `set_semantics` each step deduplicates (a
+/// Datalog relation); without, bag semantics mirror a SQL join pipeline.
+Result<NodePairs> ComposePathPairs(const Graph& graph, const PathExpr& path,
+                                   bool set_semantics,
+                                   BudgetTracker* budget);
+
+/// \brief Union of the disjunct relations of a regular expression
+/// (without applying the star), deduplicated.
+Result<NodePairs> RegexBasePairs(const Graph& graph,
+                                 const RegularExpression& expr,
+                                 bool set_semantics, BudgetTracker* budget);
+
+/// \brief Reflexive-transitive closure by NAIVE iteration: every round
+/// rejoins the whole accumulated relation with the base (the cost
+/// profile of a recursive view evaluated without delta optimization).
+Result<NodePairs> ClosureNaive(const Graph& graph, const NodePairs& base,
+                               BudgetTracker* budget);
+
+/// \brief Reflexive-transitive closure by SEMI-NAIVE iteration: only
+/// the delta of the previous round is extended (Datalog-style).
+Result<NodePairs> ClosureSemiNaive(const Graph& graph, const NodePairs& base,
+                                   BudgetTracker* budget);
+
+}  // namespace gmark
+
+#endif  // GMARK_ENGINE_ENGINE_COMMON_H_

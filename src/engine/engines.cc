@@ -1,0 +1,304 @@
+#include "engine/engines.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "engine/automaton.h"
+#include "engine/engine_common.h"
+#include "engine/evaluator.h"
+#include "engine/relation.h"
+
+namespace gmark {
+
+const char* EngineKindCode(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kRelational: return "P";
+    case EngineKind::kSparql: return "S";
+    case EngineKind::kCypher: return "G";
+    case EngineKind::kDatalog: return "D";
+  }
+  return "?";
+}
+
+std::vector<EngineKind> AllEngineKinds() {
+  return {EngineKind::kRelational, EngineKind::kCypher, EngineKind::kSparql,
+          EngineKind::kDatalog};
+}
+
+namespace {
+
+/// Shared join/project/union pipeline over per-conjunct relations.
+class MaterializingEngine : public QueryEngine {
+ public:
+  Result<uint64_t> Evaluate(const Graph& graph, const Query& query,
+                            const ResourceBudget& budget_spec) const override {
+    BudgetTracker budget(budget_spec);
+    std::vector<VarRelation> per_rule;
+    for (const QueryRule& rule : query.rules) {
+      VarRelation acc;
+      bool first = true;
+      for (const Conjunct& c : rule.body) {
+        GMARK_ASSIGN_OR_RETURN(NodePairs pairs,
+                               ConjunctPairs(graph, c, &budget));
+        VarRelation rel = VarRelation::FromPairs(c.source, c.target, pairs);
+        budget.ReleaseTuples(pairs.size());
+        if (first) {
+          acc = std::move(rel);
+          first = false;
+        } else {
+          GMARK_ASSIGN_OR_RETURN(acc, HashJoin(acc, rel, &budget));
+        }
+        GMARK_RETURN_NOT_OK(budget.CheckTime());
+      }
+      GMARK_ASSIGN_OR_RETURN(VarRelation projected,
+                             ProjectDistinct(acc, rule.head, &budget));
+      per_rule.push_back(std::move(projected));
+    }
+    return CountDistinctUnion(per_rule, &budget);
+  }
+
+ protected:
+  /// Engine-specific evaluation of one conjunct into a pair relation.
+  virtual Result<NodePairs> ConjunctPairs(const Graph& graph,
+                                          const Conjunct& conjunct,
+                                          BudgetTracker* budget) const = 0;
+};
+
+/// P: hash joins with bag-semantics intermediates; naive recursion.
+class RelationalEngine : public MaterializingEngine {
+ public:
+  EngineKind kind() const override { return EngineKind::kRelational; }
+  std::string description() const override {
+    return "relational engine: SQL:1999 linear-recursive views, full "
+           "materialization, naive fixpoint";
+  }
+
+ protected:
+  Result<NodePairs> ConjunctPairs(const Graph& graph, const Conjunct& c,
+                                  BudgetTracker* budget) const override {
+    GMARK_ASSIGN_OR_RETURN(
+        NodePairs base,
+        RegexBasePairs(graph, c.expr, /*set_semantics=*/false, budget));
+    if (!c.expr.star) return base;
+    return ClosureNaive(graph, base, budget);
+  }
+};
+
+/// D: set-semantics relations everywhere; semi-naive recursion.
+class DatalogEngine : public MaterializingEngine {
+ public:
+  EngineKind kind() const override { return EngineKind::kDatalog; }
+  std::string description() const override {
+    return "Datalog engine: bottom-up semi-naive evaluation with delta "
+           "relations";
+  }
+
+ protected:
+  Result<NodePairs> ConjunctPairs(const Graph& graph, const Conjunct& c,
+                                  BudgetTracker* budget) const override {
+    GMARK_ASSIGN_OR_RETURN(
+        NodePairs base,
+        RegexBasePairs(graph, c.expr, /*set_semantics=*/true, budget));
+    if (!c.expr.star) return base;
+    return ClosureSemiNaive(graph, base, budget);
+  }
+};
+
+/// S: W3C ALP property-path evaluation (per-source BFS) per conjunct.
+class SparqlEngine : public MaterializingEngine {
+ public:
+  EngineKind kind() const override { return EngineKind::kSparql; }
+  std::string description() const override {
+    return "SPARQL engine: property paths via the ALP procedure "
+           "(per-source BFS), triple-pattern hash joins";
+  }
+
+ protected:
+  Result<NodePairs> ConjunctPairs(const Graph& graph, const Conjunct& c,
+                                  BudgetTracker* budget) const override {
+    GMARK_ASSIGN_OR_RETURN(Nfa nfa, Nfa::FromRegex(c.expr));
+    RpqEvaluator rpq(&graph);
+    return rpq.MaterializePairs(nfa, budget);
+  }
+};
+
+/// G: openCypher-style DFS pattern enumeration with relationship
+/// isomorphism; variable-length patterns lose inverse/concatenation.
+class CypherEngine : public QueryEngine {
+ public:
+  EngineKind kind() const override { return EngineKind::kCypher; }
+  std::string description() const override {
+    return "openCypher engine: DFS enumeration, relationship-isomorphic "
+           "semantics, restricted variable-length patterns";
+  }
+
+  Result<uint64_t> Evaluate(const Graph& graph, const Query& query,
+                            const ResourceBudget& budget_spec) const override {
+    BudgetTracker budget(budget_spec);
+    std::unordered_set<std::string> results;
+    for (const QueryRule& rule : query.rules) {
+      MatchState state{graph, rule, &budget, &results, {}, {}};
+      GMARK_RETURN_NOT_OK(MatchConjunct(state, 0));
+    }
+    return static_cast<uint64_t>(results.size());
+  }
+
+ private:
+  struct MatchState {
+    const Graph& graph;
+    const QueryRule& rule;
+    BudgetTracker* budget;
+    std::unordered_set<std::string>* results;
+    std::unordered_map<VarId, NodeId> bindings;
+    std::unordered_set<uint64_t> used_edges;  // relationship isomorphism
+  };
+
+  static uint64_t EdgeId(const Graph& graph, PredicateId p, NodeId s,
+                         NodeId t) {
+    uint64_t n = static_cast<uint64_t>(graph.num_nodes());
+    return (static_cast<uint64_t>(p) * n + s) * n + t;
+  }
+
+  static std::string HeadKey(const MatchState& state) {
+    std::string key;
+    for (VarId v : state.rule.head) {
+      key += std::to_string(state.bindings.at(v));
+      key += ',';
+    }
+    return key;
+  }
+
+  /// Variable-length pattern labels: first non-inverse symbol of each
+  /// disjunct (paper §7.1's openCypher restriction).
+  static std::vector<PredicateId> StarLabels(const RegularExpression& expr) {
+    std::vector<PredicateId> labels;
+    for (const PathExpr& path : expr.disjuncts) {
+      for (const Symbol& s : path) {
+        if (s.inverse) continue;
+        if (std::find(labels.begin(), labels.end(), s.predicate) ==
+            labels.end()) {
+          labels.push_back(s.predicate);
+        }
+        break;
+      }
+    }
+    return labels;
+  }
+
+  Status RecordOrBindTarget(MatchState& state, VarId var, NodeId node,
+                            size_t conjunct_index) const {
+    auto it = state.bindings.find(var);
+    if (it != state.bindings.end()) {
+      if (it->second != node) return Status::OK();  // binding conflict
+      return MatchConjunct(state, conjunct_index + 1);
+    }
+    state.bindings.emplace(var, node);
+    Status st = MatchConjunct(state, conjunct_index + 1);
+    state.bindings.erase(var);
+    return st;
+  }
+
+  /// Enumerate matches of path[pos...] starting at `node`.
+  Status MatchPath(MatchState& state, const PathExpr& path, size_t pos,
+                   NodeId node, VarId target_var,
+                   size_t conjunct_index) const {
+    GMARK_RETURN_NOT_OK(state.budget->CheckTime());
+    if (pos == path.size()) {
+      return RecordOrBindTarget(state, target_var, node, conjunct_index);
+    }
+    const Symbol& sym = path[pos];
+    auto neighbors = sym.inverse
+                         ? state.graph.InNeighbors(sym.predicate, node)
+                         : state.graph.OutNeighbors(sym.predicate, node);
+    for (NodeId w : neighbors) {
+      GMARK_RETURN_NOT_OK(state.budget->ChargeTuples(1));
+      uint64_t edge = sym.inverse
+                          ? EdgeId(state.graph, sym.predicate, w, node)
+                          : EdgeId(state.graph, sym.predicate, node, w);
+      if (state.used_edges.count(edge) > 0) continue;  // isomorphism
+      state.used_edges.insert(edge);
+      Status st = MatchPath(state, path, pos + 1, w, target_var,
+                            conjunct_index);
+      state.used_edges.erase(edge);
+      GMARK_RETURN_NOT_OK(st);
+    }
+    return Status::OK();
+  }
+
+  /// Enumerate matches of a variable-length pattern from `node`.
+  Status MatchVarLength(MatchState& state,
+                        const std::vector<PredicateId>& labels, NodeId node,
+                        VarId target_var, size_t conjunct_index) const {
+    GMARK_RETURN_NOT_OK(state.budget->CheckTime());
+    // Zero-length match first (*0..).
+    GMARK_RETURN_NOT_OK(
+        RecordOrBindTarget(state, target_var, node, conjunct_index));
+    for (PredicateId label : labels) {
+      for (NodeId w : state.graph.OutNeighbors(label, node)) {
+        GMARK_RETURN_NOT_OK(state.budget->ChargeTuples(1));
+        uint64_t edge = EdgeId(state.graph, label, node, w);
+        if (state.used_edges.count(edge) > 0) continue;
+        state.used_edges.insert(edge);
+        Status st =
+            MatchVarLength(state, labels, w, target_var, conjunct_index);
+        state.used_edges.erase(edge);
+        GMARK_RETURN_NOT_OK(st);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status MatchConjunct(MatchState& state, size_t index) const {
+    if (index == state.rule.body.size()) {
+      GMARK_RETURN_NOT_OK(state.budget->ChargeTuples(1));
+      state.results->insert(HeadKey(state));
+      return Status::OK();
+    }
+    const Conjunct& c = state.rule.body[index];
+
+    auto try_from = [&](NodeId source) -> Status {
+      bool fresh = state.bindings.find(c.source) == state.bindings.end();
+      if (fresh) state.bindings.emplace(c.source, source);
+      Status st;
+      if (c.expr.star) {
+        st = MatchVarLength(state, StarLabels(c.expr), source, c.target,
+                            index);
+      } else {
+        for (const PathExpr& path : c.expr.disjuncts) {
+          st = MatchPath(state, path, 0, source, c.target, index);
+          if (!st.ok()) break;
+        }
+      }
+      if (fresh) state.bindings.erase(c.source);
+      return st;
+    };
+
+    auto bound = state.bindings.find(c.source);
+    if (bound != state.bindings.end()) {
+      return try_from(bound->second);
+    }
+    for (NodeId v = 0; v < static_cast<NodeId>(state.graph.num_nodes());
+         ++v) {
+      GMARK_RETURN_NOT_OK(try_from(v));
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<QueryEngine> MakeEngine(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kRelational:
+      return std::make_unique<RelationalEngine>();
+    case EngineKind::kSparql:
+      return std::make_unique<SparqlEngine>();
+    case EngineKind::kCypher:
+      return std::make_unique<CypherEngine>();
+    case EngineKind::kDatalog:
+      return std::make_unique<DatalogEngine>();
+  }
+  return nullptr;
+}
+
+}  // namespace gmark

@@ -1,0 +1,230 @@
+#include "engine/evaluator.h"
+
+#include <algorithm>
+
+#include "selectivity/estimator.h"  // AsChain
+
+namespace gmark {
+
+namespace {
+
+/// Dense bit set with O(touched) reset, for reuse across BFS sources.
+class ResettableBitset {
+ public:
+  explicit ResettableBitset(size_t bits) : words_((bits + 63) / 64, 0) {}
+
+  bool TestAndSet(size_t i) {
+    size_t w = i >> 6;
+    uint64_t mask = uint64_t{1} << (i & 63);
+    if (words_[w] & mask) return true;
+    if (words_[w] == 0) touched_.push_back(w);
+    words_[w] |= mask;
+    return false;
+  }
+
+  void Reset() {
+    for (size_t w : touched_) words_[w] = 0;
+    touched_.clear();
+  }
+
+ private:
+  std::vector<uint64_t> words_;
+  std::vector<size_t> touched_;
+};
+
+}  // namespace
+
+template <typename Emit>
+Status RpqEvaluator::ForEachSource(const Nfa& nfa, BudgetTracker* budget,
+                                   Emit&& emit) const {
+  const size_t n = static_cast<size_t>(graph_->num_nodes());
+  const size_t k = nfa.state_count();
+  const uint32_t accept = nfa.accept();
+  const bool epsilon = nfa.AcceptsEpsilon();
+
+  // A node can begin a non-empty match only if it has at least one edge
+  // matching a transition out of the start state.
+  auto has_start_edge = [&](NodeId v) {
+    for (const NfaTransition& t : nfa.TransitionsFrom(nfa.start())) {
+      size_t deg = t.symbol.inverse
+                       ? graph_->InNeighbors(t.symbol.predicate, v).size()
+                       : graph_->OutNeighbors(t.symbol.predicate, v).size();
+      if (deg > 0) return true;
+    }
+    return false;
+  };
+
+  ResettableBitset visited(n * k);
+  ResettableBitset accepted(n);
+  std::vector<uint64_t> stack;
+  std::vector<NodeId> targets;
+
+  for (NodeId source = 0; source < n; ++source) {
+    const bool starts = has_start_edge(source);
+    if (!starts && !epsilon) continue;
+    GMARK_RETURN_NOT_OK(budget->CheckTime());
+
+    targets.clear();
+    visited.Reset();
+    accepted.Reset();
+    if (epsilon) {
+      // The empty word matches every node with itself (W3C ALP
+      // zero-length path semantics).
+      accepted.TestAndSet(source);
+      targets.push_back(source);
+    }
+    if (starts) {
+      stack.clear();
+      uint64_t init = static_cast<uint64_t>(source) * k + nfa.start();
+      visited.TestAndSet(init);
+      stack.push_back(init);
+      while (!stack.empty()) {
+        uint64_t packed = stack.back();
+        stack.pop_back();
+        NodeId u = static_cast<NodeId>(packed / k);
+        uint32_t q = static_cast<uint32_t>(packed % k);
+        if (q == accept && !accepted.TestAndSet(u)) {
+          targets.push_back(u);
+        }
+        for (const NfaTransition& t : nfa.TransitionsFrom(q)) {
+          auto neighbors =
+              t.symbol.inverse
+                  ? graph_->InNeighbors(t.symbol.predicate, u)
+                  : graph_->OutNeighbors(t.symbol.predicate, u);
+          for (NodeId w : neighbors) {
+            uint64_t next = static_cast<uint64_t>(w) * k + t.to;
+            if (!visited.TestAndSet(next)) stack.push_back(next);
+          }
+        }
+      }
+    }
+    GMARK_RETURN_NOT_OK(emit(source, targets));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> RpqEvaluator::CountPairs(const Nfa& nfa,
+                                          BudgetTracker* budget) const {
+  uint64_t total = 0;
+  Status st = ForEachSource(
+      nfa, budget, [&](NodeId, const std::vector<NodeId>& targets) {
+        total += targets.size();
+        return budget->ChargeTuples(targets.size());
+      });
+  GMARK_RETURN_NOT_OK(st);
+  return total;
+}
+
+Result<std::vector<std::pair<NodeId, NodeId>>> RpqEvaluator::MaterializePairs(
+    const Nfa& nfa, BudgetTracker* budget) const {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  Status st = ForEachSource(
+      nfa, budget, [&](NodeId source, const std::vector<NodeId>& targets) {
+        GMARK_RETURN_NOT_OK(budget->ChargeTuples(targets.size()));
+        for (NodeId t : targets) pairs.emplace_back(source, t);
+        return Status::OK();
+      });
+  GMARK_RETURN_NOT_OK(st);
+  return pairs;
+}
+
+Result<std::vector<NodeId>> RpqEvaluator::TargetsFrom(
+    NodeId source, const Nfa& nfa, BudgetTracker* budget) const {
+  const size_t n = static_cast<size_t>(graph_->num_nodes());
+  const size_t k = nfa.state_count();
+  ResettableBitset visited(n * k);
+  ResettableBitset accepted(n);
+  std::vector<NodeId> targets;
+  if (nfa.AcceptsEpsilon()) {
+    accepted.TestAndSet(source);
+    targets.push_back(source);
+  }
+  std::vector<uint64_t> stack;
+  uint64_t init = static_cast<uint64_t>(source) * k + nfa.start();
+  visited.TestAndSet(init);
+  stack.push_back(init);
+  while (!stack.empty()) {
+    GMARK_RETURN_NOT_OK(budget->CheckTime());
+    uint64_t packed = stack.back();
+    stack.pop_back();
+    NodeId u = static_cast<NodeId>(packed / k);
+    uint32_t q = static_cast<uint32_t>(packed % k);
+    if (q == nfa.accept() && !accepted.TestAndSet(u)) {
+      GMARK_RETURN_NOT_OK(budget->ChargeTuples(1));
+      targets.push_back(u);
+    }
+    for (const NfaTransition& t : nfa.TransitionsFrom(q)) {
+      auto neighbors = t.symbol.inverse
+                           ? graph_->InNeighbors(t.symbol.predicate, u)
+                           : graph_->OutNeighbors(t.symbol.predicate, u);
+      for (NodeId w : neighbors) {
+        uint64_t next = static_cast<uint64_t>(w) * k + t.to;
+        if (!visited.TestAndSet(next)) stack.push_back(next);
+      }
+    }
+  }
+  return targets;
+}
+
+Result<VarRelation> ReferenceEvaluator::EvaluateRuleJoin(
+    const QueryRule& rule, BudgetTracker* budget) const {
+  VarRelation acc;
+  bool first = true;
+  for (const Conjunct& c : rule.body) {
+    GMARK_ASSIGN_OR_RETURN(Nfa nfa, Nfa::FromRegex(c.expr));
+    GMARK_ASSIGN_OR_RETURN(auto pairs, rpq_.MaterializePairs(nfa, budget));
+    VarRelation rel = VarRelation::FromPairs(c.source, c.target, pairs);
+    budget->ReleaseTuples(pairs.size());
+    if (first) {
+      acc = std::move(rel);
+      first = false;
+    } else {
+      GMARK_ASSIGN_OR_RETURN(acc, HashJoin(acc, rel, budget));
+    }
+  }
+  return ProjectDistinct(acc, rule.head, budget);
+}
+
+Result<uint64_t> ReferenceEvaluator::CountDistinct(
+    const Query& query, const ResourceBudget& budget_spec) const {
+  BudgetTracker budget(budget_spec);
+
+  // Fast path: a single rule whose body is a chain and whose head is the
+  // chain's endpoints — exactly the binary queries of the paper's
+  // selectivity experiments. The chain composes into one RPQ.
+  if (query.rules.size() == 1) {
+    const QueryRule& rule = query.rules[0];
+    auto chain = AsChain(rule);
+    if (chain.ok()) {
+      const auto& conjuncts = chain.ValueOrDie();
+      VarId first_var = conjuncts.front().source;
+      VarId last_var = conjuncts.back().target;
+      const auto& head = rule.head;
+      const bool endpoints_pair =
+          head.size() == 2 &&
+          ((head[0] == first_var && head[1] == last_var) ||
+           (head[0] == last_var && head[1] == first_var)) &&
+          first_var != last_var;
+      if (endpoints_pair) {
+        GMARK_ASSIGN_OR_RETURN(Nfa nfa, Nfa::FromConjunctChain(conjuncts));
+        return rpq_.CountPairs(nfa, &budget);
+      }
+      if (head.empty()) {
+        // Boolean chain: any accepted pair suffices.
+        GMARK_ASSIGN_OR_RETURN(Nfa nfa, Nfa::FromConjunctChain(conjuncts));
+        GMARK_ASSIGN_OR_RETURN(uint64_t pairs, rpq_.CountPairs(nfa, &budget));
+        return static_cast<uint64_t>(pairs > 0 ? 1 : 0);
+      }
+    }
+  }
+
+  // General path: join per rule, distinct union across rules.
+  std::vector<VarRelation> per_rule;
+  for (const QueryRule& rule : query.rules) {
+    GMARK_ASSIGN_OR_RETURN(VarRelation rel, EvaluateRuleJoin(rule, &budget));
+    per_rule.push_back(std::move(rel));
+  }
+  return CountDistinctUnion(per_rule, &budget);
+}
+
+}  // namespace gmark

@@ -1,0 +1,161 @@
+#include "engine/relation.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace gmark {
+
+namespace {
+
+/// FNV-1a over a row of node ids.
+struct RowHasher {
+  size_t operator()(const std::vector<NodeId>& row) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (NodeId v : row) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+std::vector<NodeId> KeyOf(std::span<const NodeId> row,
+                          const std::vector<int>& positions) {
+  std::vector<NodeId> key;
+  key.reserve(positions.size());
+  for (int p : positions) key.push_back(row[static_cast<size_t>(p)]);
+  return key;
+}
+
+}  // namespace
+
+VarRelation VarRelation::FromPairs(
+    VarId x, VarId y, const std::vector<std::pair<NodeId, NodeId>>& pairs) {
+  if (x == y) {
+    VarRelation rel({x});
+    for (const auto& [s, t] : pairs) {
+      if (s == t) {
+        NodeId v = s;
+        rel.AppendRow({&v, 1});
+      }
+    }
+    return rel;
+  }
+  VarRelation rel({x, y});
+  for (const auto& [s, t] : pairs) {
+    NodeId row[2] = {s, t};
+    rel.AppendRow({row, 2});
+  }
+  return rel;
+}
+
+int VarRelation::IndexOf(VarId var) const {
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    if (vars_[i] == var) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<VarRelation> HashJoin(const VarRelation& a, const VarRelation& b,
+                             BudgetTracker* budget) {
+  // Shared variables and their positions in both relations.
+  std::vector<int> a_pos, b_pos;
+  for (size_t i = 0; i < a.vars().size(); ++i) {
+    int j = b.IndexOf(a.vars()[i]);
+    if (j >= 0) {
+      a_pos.push_back(static_cast<int>(i));
+      b_pos.push_back(j);
+    }
+  }
+  // Output schema: all of a, then b's non-shared variables.
+  std::vector<VarId> out_vars = a.vars();
+  std::vector<int> b_extra;
+  for (size_t j = 0; j < b.vars().size(); ++j) {
+    if (a.IndexOf(b.vars()[j]) < 0) {
+      out_vars.push_back(b.vars()[j]);
+      b_extra.push_back(static_cast<int>(j));
+    }
+  }
+  VarRelation out(out_vars);
+
+  // Build on b, probe with a.
+  std::unordered_map<std::vector<NodeId>, std::vector<size_t>, RowHasher>
+      index;
+  index.reserve(b.row_count());
+  for (size_t i = 0; i < b.row_count(); ++i) {
+    index[KeyOf(b.row(i), b_pos)].push_back(i);
+  }
+  std::vector<NodeId> row_buf;
+  for (size_t i = 0; i < a.row_count(); ++i) {
+    GMARK_RETURN_NOT_OK(budget->CheckTime());
+    auto it = index.find(KeyOf(a.row(i), a_pos));
+    if (it == index.end()) continue;
+    for (size_t j : it->second) {
+      row_buf.assign(a.row(i).begin(), a.row(i).end());
+      for (int p : b_extra) {
+        row_buf.push_back(b.row(j)[static_cast<size_t>(p)]);
+      }
+      GMARK_RETURN_NOT_OK(budget->ChargeTuples(1));
+      out.AppendRow(row_buf);
+    }
+  }
+  return out;
+}
+
+Result<VarRelation> ProjectDistinct(const VarRelation& rel,
+                                    const std::vector<VarId>& onto,
+                                    BudgetTracker* budget) {
+  std::vector<int> positions;
+  for (VarId v : onto) {
+    int p = rel.IndexOf(v);
+    if (p < 0) {
+      return Status::InvalidArgument("projection variable not in relation");
+    }
+    positions.push_back(p);
+  }
+  VarRelation out(onto);
+  if (onto.empty()) {
+    if (rel.row_count() > 0) out.SetNonEmpty();
+    return out;
+  }
+  std::unordered_set<std::vector<NodeId>, RowHasher> seen;
+  seen.reserve(rel.row_count());
+  for (size_t i = 0; i < rel.row_count(); ++i) {
+    std::vector<NodeId> key = KeyOf(rel.row(i), positions);
+    if (seen.insert(key).second) {
+      GMARK_RETURN_NOT_OK(budget->ChargeTuples(1));
+      out.AppendRow(key);
+    }
+  }
+  return out;
+}
+
+Result<uint64_t> CountDistinctUnion(const std::vector<VarRelation>& rels,
+                                    BudgetTracker* budget) {
+  if (rels.empty()) return static_cast<uint64_t>(0);
+  if (rels[0].width() == 0) {
+    for (const auto& r : rels) {
+      if (r.row_count() > 0) return static_cast<uint64_t>(1);
+    }
+    return static_cast<uint64_t>(0);
+  }
+  std::unordered_set<std::vector<NodeId>, RowHasher> seen;
+  for (const auto& r : rels) {
+    for (size_t i = 0; i < r.row_count(); ++i) {
+      std::vector<NodeId> key(r.row(i).begin(), r.row(i).end());
+      if (seen.insert(std::move(key)).second) {
+        GMARK_RETURN_NOT_OK(budget->ChargeTuples(1));
+      }
+    }
+    GMARK_RETURN_NOT_OK(budget->CheckTime());
+  }
+  return static_cast<uint64_t>(seen.size());
+}
+
+void DedupPairs(std::vector<std::pair<NodeId, NodeId>>* pairs) {
+  std::sort(pairs->begin(), pairs->end());
+  pairs->erase(std::unique(pairs->begin(), pairs->end()), pairs->end());
+}
+
+}  // namespace gmark

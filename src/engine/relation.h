@@ -1,0 +1,81 @@
+// Materialized relations over query variables: the workhorse of the
+// join-based evaluation paths (general shapes in the reference
+// evaluator; the Relational/Datalog/SPARQL engine simulators).
+
+#ifndef GMARK_ENGINE_RELATION_H_
+#define GMARK_ENGINE_RELATION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "engine/budget.h"
+#include "graph/graph.h"
+#include "query/query.h"
+#include "util/result.h"
+
+namespace gmark {
+
+/// \brief A bag/set of tuples over an ordered list of variables,
+/// stored row-major in one flat buffer.
+class VarRelation {
+ public:
+  VarRelation() = default;
+  explicit VarRelation(std::vector<VarId> vars) : vars_(std::move(vars)) {}
+
+  const std::vector<VarId>& vars() const { return vars_; }
+  size_t width() const { return vars_.size(); }
+  size_t row_count() const {
+    return width() == 0 ? (nullary_nonempty_ ? 1 : 0)
+                        : data_.size() / width();
+  }
+
+  std::span<const NodeId> row(size_t i) const {
+    return {data_.data() + i * width(), width()};
+  }
+
+  void AppendRow(std::span<const NodeId> values) {
+    data_.insert(data_.end(), values.begin(), values.end());
+  }
+
+  /// \brief For width-0 (boolean) relations: mark non-empty.
+  void SetNonEmpty() { nullary_nonempty_ = true; }
+
+  /// \brief Build a binary relation (?x, ?y) from node pairs. When the
+  /// two variables coincide, only reflexive pairs are kept and the
+  /// relation becomes unary.
+  static VarRelation FromPairs(
+      VarId x, VarId y, const std::vector<std::pair<NodeId, NodeId>>& pairs);
+
+  /// \brief Position of `var` in vars(), or -1.
+  int IndexOf(VarId var) const;
+
+ private:
+  std::vector<VarId> vars_;
+  std::vector<NodeId> data_;
+  bool nullary_nonempty_ = false;
+};
+
+/// \brief Natural hash join on the shared variables of `a` and `b`.
+/// Joins with no shared variables degenerate to a (budgeted) cross
+/// product.
+Result<VarRelation> HashJoin(const VarRelation& a, const VarRelation& b,
+                             BudgetTracker* budget);
+
+/// \brief Project onto `onto` and de-duplicate.
+Result<VarRelation> ProjectDistinct(const VarRelation& rel,
+                                    const std::vector<VarId>& onto,
+                                    BudgetTracker* budget);
+
+/// \brief Count the distinct tuples in the union of equal-width
+/// relations (the UCRPQ union semantics with a count(distinct)
+/// aggregate).
+Result<uint64_t> CountDistinctUnion(const std::vector<VarRelation>& rels,
+                                    BudgetTracker* budget);
+
+/// \brief Set-semantics pair deduplication in place.
+void DedupPairs(std::vector<std::pair<NodeId, NodeId>>* pairs);
+
+}  // namespace gmark
+
+#endif  // GMARK_ENGINE_RELATION_H_

@@ -1,0 +1,73 @@
+// The gMark graph generation algorithm (Fig. 5 of the paper).
+//
+// For each eta(T1, T2, a) = (Din, Dout) the generator draws an out-slot
+// vector over T1 nodes and an in-slot vector over T2 nodes, shuffles
+// both, zips them, and emits min(|vsrc|, |vtrg|) a-labeled edges. This
+// is linear in input + output and never backtracks; constraints that
+// cannot be met exactly are relaxed (Thm. 3.6 makes exact satisfaction
+// NP-complete), while the *types* of the distributions are preserved.
+
+#ifndef GMARK_GRAPH_GENERATOR_H_
+#define GMARK_GRAPH_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph_config.h"
+#include "graph/graph.h"
+#include "util/result.h"
+
+namespace gmark {
+
+/// \brief Receives generated edges one at a time; implementations write
+/// to memory, disk, or just count.
+class EdgeSink {
+ public:
+  virtual ~EdgeSink() = default;
+  virtual void Append(NodeId source, PredicateId predicate, NodeId target) = 0;
+};
+
+/// \brief Sink that discards edges and counts them (scalability runs).
+class CountingSink : public EdgeSink {
+ public:
+  void Append(NodeId, PredicateId, NodeId) override { ++count_; }
+  size_t count() const { return count_; }
+
+ private:
+  size_t count_ = 0;
+};
+
+/// \brief Sink that collects edges in memory.
+class VectorSink : public EdgeSink {
+ public:
+  void Append(NodeId source, PredicateId predicate, NodeId target) override {
+    edges_.push_back(Edge{source, predicate, target});
+  }
+  std::vector<Edge>& edges() { return edges_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+ private:
+  std::vector<Edge> edges_;
+};
+
+/// \brief Tuning knobs for the generator.
+struct GeneratorOptions {
+  /// Paper §4: when a side is Gaussian, skip materializing its slot
+  /// vector and sample that side uniformly per edge instead (the
+  /// Gaussian's concentration around its mean makes the shuffled vector
+  /// statistically indistinguishable from uniform slot assignment).
+  /// Ablation: bench/ablation_gaussian_fastpath.
+  bool gaussian_fast_path = true;
+};
+
+/// \brief Run the Fig. 5 algorithm, streaming edges into `sink`.
+Status GenerateEdges(const GraphConfiguration& config, EdgeSink* sink,
+                     const GeneratorOptions& options = {});
+
+/// \brief Convenience: generate and index a full in-memory graph.
+Result<Graph> GenerateGraph(const GraphConfiguration& config,
+                            const GeneratorOptions& options = {});
+
+}  // namespace gmark
+
+#endif  // GMARK_GRAPH_GENERATOR_H_

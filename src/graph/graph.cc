@@ -1,0 +1,74 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace gmark {
+
+Graph::Csr Graph::BuildCsr(
+    int64_t num_nodes, const std::vector<std::pair<NodeId, NodeId>>& pairs) {
+  Csr csr;
+  csr.offsets.assign(static_cast<size_t>(num_nodes) + 1, 0);
+  for (const auto& [src, trg] : pairs) {
+    (void)trg;
+    ++csr.offsets[src + 1];
+  }
+  for (size_t i = 1; i < csr.offsets.size(); ++i) {
+    csr.offsets[i] += csr.offsets[i - 1];
+  }
+  csr.targets.resize(pairs.size());
+  std::vector<size_t> cursor(csr.offsets.begin(), csr.offsets.end() - 1);
+  for (const auto& [src, trg] : pairs) {
+    csr.targets[cursor[src]++] = trg;
+  }
+  return csr;
+}
+
+Result<Graph> Graph::Build(NodeLayout layout, size_t predicate_count,
+                           std::vector<Edge> edges) {
+  Graph g;
+  g.layout_ = std::move(layout);
+  g.predicate_count_ = predicate_count;
+  g.num_edges_ = edges.size();
+  const NodeId n = static_cast<NodeId>(g.layout_.total_nodes());
+
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> fwd(predicate_count);
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> bwd(predicate_count);
+  for (const Edge& e : edges) {
+    if (e.source >= n || e.target >= n) {
+      return Status::OutOfRange("edge references node outside the layout");
+    }
+    if (e.predicate >= predicate_count) {
+      return Status::OutOfRange("edge references unknown predicate");
+    }
+    fwd[e.predicate].emplace_back(e.source, e.target);
+    bwd[e.predicate].emplace_back(e.target, e.source);
+  }
+  edges.clear();
+  edges.shrink_to_fit();
+
+  g.forward_.reserve(predicate_count);
+  g.backward_.reserve(predicate_count);
+  for (size_t p = 0; p < predicate_count; ++p) {
+    g.forward_.push_back(BuildCsr(g.layout_.total_nodes(), fwd[p]));
+    fwd[p].clear();
+    fwd[p].shrink_to_fit();
+    g.backward_.push_back(BuildCsr(g.layout_.total_nodes(), bwd[p]));
+    bwd[p].clear();
+    bwd[p].shrink_to_fit();
+  }
+  return g;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::EdgesOf(PredicateId a) const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  const Csr& csr = forward_[a];
+  out.reserve(csr.targets.size());
+  for (NodeId v = 0; v + 1 < csr.offsets.size(); ++v) {
+    for (size_t i = csr.offsets[v]; i < csr.offsets[v + 1]; ++i) {
+      out.emplace_back(v, csr.targets[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace gmark

@@ -1,0 +1,82 @@
+// In-memory directed edge-labeled graph: the substrate that holds
+// generated instances for query evaluation. Nodes are dense ids laid
+// out contiguously by type (NodeLayout); adjacency is CSR per predicate,
+// forward and backward, so regular path queries can traverse both a and
+// a^- in O(1) per neighbor.
+
+#ifndef GMARK_GRAPH_GRAPH_H_
+#define GMARK_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/graph_config.h"
+#include "util/result.h"
+
+namespace gmark {
+
+/// \brief One labeled edge (source, predicate, target).
+struct Edge {
+  NodeId source;
+  PredicateId predicate;
+  NodeId target;
+
+  bool operator==(const Edge&) const = default;
+};
+
+/// \brief Immutable graph instance with per-predicate CSR indexes.
+class Graph {
+ public:
+  /// \brief Build from a node layout and an edge list. Edges referencing
+  /// nodes outside the layout are rejected.
+  static Result<Graph> Build(NodeLayout layout, size_t predicate_count,
+                             std::vector<Edge> edges);
+
+  int64_t num_nodes() const { return layout_.total_nodes(); }
+  size_t num_edges() const { return num_edges_; }
+  size_t predicate_count() const { return predicate_count_; }
+  const NodeLayout& layout() const { return layout_; }
+
+  TypeId TypeOf(NodeId node) const { return layout_.TypeOf(node); }
+
+  /// \brief Targets of a-labeled edges out of `node`.
+  std::span<const NodeId> OutNeighbors(PredicateId a, NodeId node) const {
+    const Csr& csr = forward_[a];
+    return {csr.targets.data() + csr.offsets[node],
+            csr.targets.data() + csr.offsets[node + 1]};
+  }
+
+  /// \brief Sources of a-labeled edges into `node` (i.e. a^- neighbors).
+  std::span<const NodeId> InNeighbors(PredicateId a, NodeId node) const {
+    const Csr& csr = backward_[a];
+    return {csr.targets.data() + csr.offsets[node],
+            csr.targets.data() + csr.offsets[node + 1]};
+  }
+
+  /// \brief Number of a-labeled edges.
+  size_t EdgeCount(PredicateId a) const { return forward_[a].targets.size(); }
+
+  /// \brief All edges with predicate `a` as (source, target) pairs, in
+  /// CSR order. Intended for engines that scan base relations.
+  std::vector<std::pair<NodeId, NodeId>> EdgesOf(PredicateId a) const;
+
+ private:
+  struct Csr {
+    std::vector<size_t> offsets;  // num_nodes + 1 entries.
+    std::vector<NodeId> targets;
+  };
+
+  static Csr BuildCsr(int64_t num_nodes,
+                      const std::vector<std::pair<NodeId, NodeId>>& pairs);
+
+  NodeLayout layout_;
+  size_t predicate_count_ = 0;
+  size_t num_edges_ = 0;
+  std::vector<Csr> forward_;
+  std::vector<Csr> backward_;
+};
+
+}  // namespace gmark
+
+#endif  // GMARK_GRAPH_GRAPH_H_

@@ -1,0 +1,102 @@
+#include "graph/graph_io.h"
+
+#include <istream>
+#include <ostream>
+
+#include "util/string_util.h"
+
+namespace gmark {
+
+namespace {
+constexpr char kNodePrefix[] = "<http://gmark/n";
+constexpr char kPredPrefix[] = "<http://gmark/p/";
+constexpr char kTypePredicate[] = "<http://gmark/type>";
+}  // namespace
+
+NTriplesSink::NTriplesSink(std::ostream* out, const GraphSchema* schema)
+    : out_(out), schema_(schema) {}
+
+void NTriplesSink::Append(NodeId source, PredicateId predicate,
+                          NodeId target) {
+  (*out_) << kNodePrefix << source << "> " << kPredPrefix
+          << schema_->PredicateName(predicate) << "> " << kNodePrefix
+          << target << "> .\n";
+  ++count_;
+}
+
+CsvSink::CsvSink(std::ostream* out, const GraphSchema* schema)
+    : out_(out), schema_(schema) {
+  (*out_) << "source,predicate,target\n";
+}
+
+void CsvSink::Append(NodeId source, PredicateId predicate, NodeId target) {
+  (*out_) << source << ',' << schema_->PredicateName(predicate) << ','
+          << target << '\n';
+}
+
+Status WriteNTriples(const Graph& graph, const GraphSchema& schema,
+                     std::ostream* out, bool include_node_types) {
+  NTriplesSink sink(out, &schema);
+  for (PredicateId p = 0; p < graph.predicate_count(); ++p) {
+    for (const auto& [src, trg] : graph.EdgesOf(p)) {
+      sink.Append(src, p, trg);
+    }
+  }
+  if (include_node_types) {
+    for (NodeId v = 0; v < static_cast<NodeId>(graph.num_nodes()); ++v) {
+      (*out) << kNodePrefix << v << "> " << kTypePredicate << " \""
+             << schema.TypeName(graph.TypeOf(v)) << "\" .\n";
+    }
+  }
+  if (!*out) return Status::IOError("stream write failed");
+  return Status::OK();
+}
+
+namespace {
+
+/// Extract the numeric id from "<http://gmark/n123>".
+Result<NodeId> ParseNodeIri(const std::string& token) {
+  if (!StartsWith(token, kNodePrefix) || token.back() != '>') {
+    return Status::InvalidArgument("not a gMark node IRI: " + token);
+  }
+  std::string digits =
+      token.substr(sizeof(kNodePrefix) - 1,
+                   token.size() - sizeof(kNodePrefix));
+  GMARK_ASSIGN_OR_RETURN(int64_t id, ParseInt(digits));
+  return static_cast<NodeId>(id);
+}
+
+}  // namespace
+
+Result<std::vector<Edge>> ReadNTriples(std::istream* in,
+                                       const GraphSchema& schema) {
+  std::vector<Edge> edges;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> tokens = Split(trimmed, ' ');
+    if (tokens.size() < 4 || tokens[3] != ".") {
+      return Status::InvalidArgument("malformed N-triples line " +
+                                     std::to_string(line_no));
+    }
+    if (tokens[1] == kTypePredicate) continue;
+    if (!StartsWith(tokens[1], kPredPrefix) || tokens[1].back() != '>') {
+      return Status::InvalidArgument("unknown predicate IRI on line " +
+                                     std::to_string(line_no));
+    }
+    std::string pred_name =
+        tokens[1].substr(sizeof(kPredPrefix) - 1,
+                         tokens[1].size() - sizeof(kPredPrefix));
+    GMARK_ASSIGN_OR_RETURN(PredicateId pred,
+                           schema.PredicateIdOf(pred_name));
+    GMARK_ASSIGN_OR_RETURN(NodeId src, ParseNodeIri(tokens[0]));
+    GMARK_ASSIGN_OR_RETURN(NodeId trg, ParseNodeIri(tokens[2]));
+    edges.push_back(Edge{src, pred, trg});
+  }
+  return edges;
+}
+
+}  // namespace gmark

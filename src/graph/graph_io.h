@@ -1,0 +1,58 @@
+// Graph instance serialization (Fig. 1: "Graph instance file").
+// Supported formats: N-triples (the paper's data format for SPARQL
+// systems) and a plain CSV edge list.
+
+#ifndef GMARK_GRAPH_GRAPH_IO_H_
+#define GMARK_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/graph_config.h"
+#include "graph/generator.h"
+#include "graph/graph.h"
+#include "util/result.h"
+
+namespace gmark {
+
+/// \brief Sink that streams edges as N-triples, e.g.
+/// `<http://gmark/n12> <http://gmark/p/authors> <http://gmark/n7> .`
+class NTriplesSink : public EdgeSink {
+ public:
+  /// \brief `schema` supplies predicate names; must outlive the sink.
+  NTriplesSink(std::ostream* out, const GraphSchema* schema);
+  void Append(NodeId source, PredicateId predicate, NodeId target) override;
+  size_t count() const { return count_; }
+
+ private:
+  std::ostream* out_;
+  const GraphSchema* schema_;
+  size_t count_ = 0;
+};
+
+/// \brief Sink that streams edges as `source,predicate,target` CSV rows
+/// with a header, using predicate names.
+class CsvSink : public EdgeSink {
+ public:
+  CsvSink(std::ostream* out, const GraphSchema* schema);
+  void Append(NodeId source, PredicateId predicate, NodeId target) override;
+
+ private:
+  std::ostream* out_;
+  const GraphSchema* schema_;
+};
+
+/// \brief Write an indexed graph as N-triples, including one
+/// `<node> <http://gmark/type> "<typename>" .` triple per node.
+Status WriteNTriples(const Graph& graph, const GraphSchema& schema,
+                     std::ostream* out, bool include_node_types = false);
+
+/// \brief Parse the N-triples dialect produced by NTriplesSink back into
+/// an edge list (type triples are skipped).
+Result<std::vector<Edge>> ReadNTriples(std::istream* in,
+                                       const GraphSchema& schema);
+
+}  // namespace gmark
+
+#endif  // GMARK_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,50 @@
+// Descriptive statistics over generated instances: used by tests to
+// check that the generator respects the schema, and by examples to show
+// instance shape.
+
+#ifndef GMARK_GRAPH_STATS_H_
+#define GMARK_GRAPH_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/graph_config.h"
+#include "graph/graph.h"
+
+namespace gmark {
+
+/// \brief Degree summary for one predicate restricted to one node type.
+struct DegreeStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  int64_t max = 0;
+  int64_t nonzero_nodes = 0;
+};
+
+/// \brief Aggregate statistics of one graph instance.
+struct GraphStats {
+  int64_t num_nodes = 0;
+  size_t num_edges = 0;
+  std::vector<int64_t> nodes_per_type;
+  std::vector<size_t> edges_per_predicate;
+
+  /// \brief Mean edges per node across the instance.
+  double density = 0.0;
+
+  std::string ToString(const GraphSchema& schema) const;
+};
+
+/// \brief Compute aggregate statistics.
+GraphStats ComputeStats(const Graph& graph);
+
+/// \brief Out-degree stats of `predicate` over nodes of `source_type`.
+DegreeStats OutDegreeStats(const Graph& graph, PredicateId predicate,
+                           TypeId source_type);
+
+/// \brief In-degree stats of `predicate` over nodes of `target_type`.
+DegreeStats InDegreeStats(const Graph& graph, PredicateId predicate,
+                          TypeId target_type);
+
+}  // namespace gmark
+
+#endif  // GMARK_GRAPH_STATS_H_

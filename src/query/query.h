@@ -1,0 +1,130 @@
+// The UCRPQ query model (paper §3.3): unions of conjunctions of regular
+// path queries. A query is a set of rules of equal arity
+//
+//   (?v1..?vk) <- (?x1, r1, ?y1), ..., (?xn, rn, ?yn)
+//
+// where each r is a regular expression over predicates and their
+// inverses using concatenation, disjunction, and Kleene star, with
+// recursion restricted to the outermost level: every expression is
+// (P1 + ... + Pk) or (P1 + ... + Pk)* for path expressions Pi.
+
+#ifndef GMARK_QUERY_QUERY_H_
+#define GMARK_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/schema.h"
+#include "util/result.h"
+
+namespace gmark {
+
+/// \brief Variable identifier within a query (rendered as ?x<id>).
+using VarId = int32_t;
+
+/// \brief One atom of a path expression: a predicate or its inverse.
+struct Symbol {
+  PredicateId predicate = 0;
+  bool inverse = false;
+
+  static Symbol Fwd(PredicateId p) { return Symbol{p, false}; }
+  static Symbol Inv(PredicateId p) { return Symbol{p, true}; }
+
+  // Ordered so paths can live in std::set (disjunct deduplication).
+  auto operator<=>(const Symbol&) const = default;
+};
+
+/// \brief A path expression: a concatenation of symbols. Empty = epsilon.
+using PathExpr = std::vector<Symbol>;
+
+/// \brief A regular expression in the paper's normal form:
+/// (P1 + ... + Pk) optionally under an outermost Kleene star.
+struct RegularExpression {
+  std::vector<PathExpr> disjuncts;
+  bool star = false;
+
+  /// \brief Single-symbol expression `a` or `a^-`.
+  static RegularExpression Atom(Symbol s) {
+    RegularExpression r;
+    r.disjuncts.push_back(PathExpr{s});
+    return r;
+  }
+  /// \brief Single-path expression `s1 . s2 . ... . sk`.
+  static RegularExpression Path(PathExpr path) {
+    RegularExpression r;
+    r.disjuncts.push_back(std::move(path));
+    return r;
+  }
+
+  /// \brief Number of disjuncts.
+  size_t disjunct_count() const { return disjuncts.size(); }
+  /// \brief Length of the longest disjunct path.
+  size_t max_path_length() const;
+  /// \brief Length of the shortest disjunct path.
+  size_t min_path_length() const;
+
+  /// \brief "(a . b + c)*" using schema predicate names.
+  std::string ToString(const GraphSchema& schema) const;
+
+  bool operator==(const RegularExpression&) const = default;
+};
+
+/// \brief One subgoal (?x, r, ?y) of a rule body.
+struct Conjunct {
+  VarId source = 0;
+  VarId target = 0;
+  RegularExpression expr;
+
+  std::string ToString(const GraphSchema& schema) const;
+
+  bool operator==(const Conjunct&) const = default;
+};
+
+/// \brief One rule: head variables (projection) plus a body.
+struct QueryRule {
+  std::vector<VarId> head;
+  std::vector<Conjunct> body;
+
+  size_t arity() const { return head.size(); }
+  std::string ToString(const GraphSchema& schema) const;
+
+  bool operator==(const QueryRule&) const = default;
+};
+
+/// \brief A UCRPQ: a non-empty set of rules of equal arity.
+struct Query {
+  std::string name;  ///< Identifier used in output files ("q0", "q1", ...).
+  std::vector<QueryRule> rules;
+
+  size_t arity() const { return rules.empty() ? 0 : rules[0].arity(); }
+
+  /// \brief Structural checks: at least one rule, equal arities, head
+  /// variables bound in the body, predicates within the schema.
+  Status Validate(const GraphSchema& schema) const;
+
+  /// \brief Paper-style rendering, one rule per line.
+  std::string ToString(const GraphSchema& schema) const;
+
+  bool operator==(const Query&) const = default;
+};
+
+/// \brief Size statistics of a query, comparable against the size tuple
+/// `t` of the workload configuration (paper Example 3.4).
+struct QuerySizeInfo {
+  size_t rules = 0;
+  size_t min_conjuncts = 0;
+  size_t max_conjuncts = 0;
+  size_t min_disjuncts = 0;
+  size_t max_disjuncts = 0;
+  size_t min_path_length = 0;
+  size_t max_path_length = 0;
+  bool has_recursion = false;
+};
+
+/// \brief Measure a query's size dimensions.
+QuerySizeInfo MeasureQuery(const Query& query);
+
+}  // namespace gmark
+
+#endif  // GMARK_QUERY_QUERY_H_

@@ -1,0 +1,205 @@
+#include "query/query_xml.h"
+
+#include "util/string_util.h"
+
+namespace gmark {
+
+namespace {
+
+void AppendRegex(XmlNode* parent, const RegularExpression& expr,
+                 const GraphSchema& schema) {
+  XmlNode& regex = parent->AddChild("regex");
+  regex.set_attr("star", expr.star ? "true" : "false");
+  for (const auto& path : expr.disjuncts) {
+    XmlNode& disjunct = regex.AddChild("disjunct");
+    for (const Symbol& s : path) {
+      XmlNode& sym = disjunct.AddChild("symbol");
+      sym.set_attr("predicate", schema.PredicateName(s.predicate));
+      if (s.inverse) sym.set_attr("inverse", "true");
+    }
+  }
+}
+
+Result<RegularExpression> ParseRegex(const XmlNode& regex,
+                                     const GraphSchema& schema) {
+  RegularExpression expr;
+  expr.star = regex.attr("star") == "true";
+  for (const XmlNode* d : regex.FindChildren("disjunct")) {
+    PathExpr path;
+    for (const XmlNode* s : d->FindChildren("symbol")) {
+      GMARK_ASSIGN_OR_RETURN(PredicateId pred,
+                             schema.PredicateIdOf(s->attr("predicate")));
+      path.push_back(Symbol{pred, s->attr("inverse") == "true"});
+    }
+    expr.disjuncts.push_back(std::move(path));
+  }
+  if (expr.disjuncts.empty()) {
+    return Status::InvalidArgument("<regex> without <disjunct> children");
+  }
+  return expr;
+}
+
+}  // namespace
+
+std::string QueriesToXml(const std::vector<Query>& queries,
+                         const GraphSchema& schema) {
+  XmlNode root("workload");
+  for (const Query& q : queries) {
+    XmlNode& query = root.AddChild("query");
+    query.set_attr("name", q.name);
+    query.set_attr("arity", std::to_string(q.arity()));
+    for (const QueryRule& rule : q.rules) {
+      XmlNode& rule_node = query.AddChild("rule");
+      XmlNode& head = rule_node.AddChild("head");
+      for (VarId v : rule.head) {
+        head.AddChild("var").set_attr("id", std::to_string(v));
+      }
+      XmlNode& body = rule_node.AddChild("body");
+      for (const Conjunct& c : rule.body) {
+        XmlNode& conj = body.AddChild("conjunct");
+        conj.set_attr("source", std::to_string(c.source));
+        conj.set_attr("target", std::to_string(c.target));
+        AppendRegex(&conj, c.expr, schema);
+      }
+    }
+  }
+  return root.ToString();
+}
+
+Result<std::vector<Query>> ParseQueriesXml(const std::string& xml,
+                                           const GraphSchema& schema) {
+  GMARK_ASSIGN_OR_RETURN(XmlNode root, ParseXml(xml));
+  if (root.name() != "workload") {
+    return Status::InvalidArgument("expected <workload> root, got <" +
+                                   root.name() + ">");
+  }
+  std::vector<Query> queries;
+  for (const XmlNode* qn : root.FindChildren("query")) {
+    Query q;
+    q.name = qn->attr("name");
+    for (const XmlNode* rn : qn->FindChildren("rule")) {
+      QueryRule rule;
+      if (const XmlNode* head = rn->FindChild("head")) {
+        for (const XmlNode* v : head->FindChildren("var")) {
+          GMARK_ASSIGN_OR_RETURN(int64_t id, ParseInt(v->attr("id")));
+          rule.head.push_back(static_cast<VarId>(id));
+        }
+      }
+      const XmlNode* body = rn->FindChild("body");
+      if (body == nullptr) {
+        return Status::InvalidArgument("rule without <body> in query " +
+                                       q.name);
+      }
+      for (const XmlNode* cn : body->FindChildren("conjunct")) {
+        Conjunct c;
+        GMARK_ASSIGN_OR_RETURN(int64_t src, ParseInt(cn->attr("source")));
+        GMARK_ASSIGN_OR_RETURN(int64_t trg, ParseInt(cn->attr("target")));
+        c.source = static_cast<VarId>(src);
+        c.target = static_cast<VarId>(trg);
+        const XmlNode* regex = cn->FindChild("regex");
+        if (regex == nullptr) {
+          return Status::InvalidArgument("conjunct without <regex> in " +
+                                         q.name);
+        }
+        GMARK_ASSIGN_OR_RETURN(c.expr, ParseRegex(*regex, schema));
+        rule.body.push_back(std::move(c));
+      }
+      q.rules.push_back(std::move(rule));
+    }
+    GMARK_RETURN_NOT_OK(q.Validate(schema));
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+Result<WorkloadConfiguration> ParseWorkloadConfigXml(const std::string& xml) {
+  GMARK_ASSIGN_OR_RETURN(XmlNode root, ParseXml(xml));
+  const XmlNode* w = root.name() == "workload" ? &root
+                                               : root.FindChild("workload");
+  if (w == nullptr) {
+    return Status::InvalidArgument("expected a <workload> element");
+  }
+  WorkloadConfiguration config;
+  if (w->has_attr("name")) config.name = w->attr("name");
+  if (w->has_attr("queries")) {
+    GMARK_ASSIGN_OR_RETURN(int64_t n, ParseInt(w->attr("queries")));
+    config.num_queries = static_cast<size_t>(n);
+  }
+  if (w->has_attr("seed")) {
+    GMARK_ASSIGN_OR_RETURN(int64_t seed, ParseInt(w->attr("seed")));
+    config.seed = static_cast<uint64_t>(seed);
+  }
+  if (const XmlNode* arity = w->FindChild("arity")) {
+    GMARK_ASSIGN_OR_RETURN(int64_t lo, ParseInt(arity->attr("min")));
+    GMARK_ASSIGN_OR_RETURN(int64_t hi, ParseInt(arity->attr("max")));
+    config.arity = IntRange::Between(static_cast<int>(lo),
+                                     static_cast<int>(hi));
+  }
+  if (const XmlNode* shapes = w->FindChild("shapes")) {
+    config.shapes.clear();
+    for (const XmlNode* s : shapes->FindChildren("shape")) {
+      GMARK_ASSIGN_OR_RETURN(QueryShape shape, ParseQueryShape(s->text()));
+      config.shapes.push_back(shape);
+    }
+  }
+  if (const XmlNode* sels = w->FindChild("selectivities")) {
+    config.selectivities.clear();
+    for (const XmlNode* s : sels->FindChildren("selectivity")) {
+      GMARK_ASSIGN_OR_RETURN(QuerySelectivity sel,
+                             ParseQuerySelectivity(s->text()));
+      config.selectivities.push_back(sel);
+    }
+  }
+  if (const XmlNode* rec = w->FindChild("recursion")) {
+    GMARK_ASSIGN_OR_RETURN(config.recursion_probability,
+                           ParseDouble(rec->attr("probability")));
+  }
+  if (const XmlNode* size = w->FindChild("size")) {
+    auto parse_range = [&](const std::string& key,
+                           IntRange* out) -> Status {
+      if (!size->has_attr(key + "-min")) return Status::OK();
+      GMARK_ASSIGN_OR_RETURN(int64_t lo, ParseInt(size->attr(key + "-min")));
+      GMARK_ASSIGN_OR_RETURN(int64_t hi, ParseInt(size->attr(key + "-max")));
+      *out = IntRange::Between(static_cast<int>(lo), static_cast<int>(hi));
+      return Status::OK();
+    };
+    GMARK_RETURN_NOT_OK(parse_range("rules", &config.size.rules));
+    GMARK_RETURN_NOT_OK(parse_range("conjuncts", &config.size.conjuncts));
+    GMARK_RETURN_NOT_OK(parse_range("disjuncts", &config.size.disjuncts));
+    GMARK_RETURN_NOT_OK(parse_range("length", &config.size.path_length));
+  }
+  GMARK_RETURN_NOT_OK(config.Validate());
+  return config;
+}
+
+std::string WorkloadConfigToXml(const WorkloadConfiguration& config) {
+  XmlNode root("workload");
+  root.set_attr("name", config.name);
+  root.set_attr("queries", std::to_string(config.num_queries));
+  root.set_attr("seed", std::to_string(config.seed));
+  XmlNode& arity = root.AddChild("arity");
+  arity.set_attr("min", std::to_string(config.arity.min));
+  arity.set_attr("max", std::to_string(config.arity.max));
+  XmlNode& shapes = root.AddChild("shapes");
+  for (QueryShape s : config.shapes) {
+    shapes.AddChild("shape").set_text(QueryShapeName(s));
+  }
+  XmlNode& sels = root.AddChild("selectivities");
+  for (QuerySelectivity s : config.selectivities) {
+    sels.AddChild("selectivity").set_text(QuerySelectivityName(s));
+  }
+  XmlNode& rec = root.AddChild("recursion");
+  rec.set_attr("probability", FormatDouble(config.recursion_probability));
+  XmlNode& size = root.AddChild("size");
+  auto put_range = [&](const std::string& key, const IntRange& r) {
+    size.set_attr(key + "-min", std::to_string(r.min));
+    size.set_attr(key + "-max", std::to_string(r.max));
+  };
+  put_range("rules", config.size.rules);
+  put_range("conjuncts", config.size.conjuncts);
+  put_range("disjuncts", config.size.disjuncts);
+  put_range("length", config.size.path_length);
+  return root.ToString();
+}
+
+}  // namespace gmark

@@ -1,0 +1,76 @@
+// Query workload configuration Q = (G, #q, ar, f, e, pr, t) —
+// Definition 3.5 of the paper.
+
+#ifndef GMARK_QUERY_WORKLOAD_CONFIG_H_
+#define GMARK_QUERY_WORKLOAD_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace gmark {
+
+/// \brief Closed integer interval [min, max] used by the size tuple.
+struct IntRange {
+  int min = 1;
+  int max = 1;
+
+  static IntRange Exactly(int v) { return IntRange{v, v}; }
+  static IntRange Between(int lo, int hi) { return IntRange{lo, hi}; }
+
+  bool Contains(int v) const { return v >= min && v <= max; }
+  std::string ToString() const;
+};
+
+/// \brief Query shapes supported by the skeleton generator (§5.1).
+enum class QueryShape { kChain, kStar, kCycle, kStarChain };
+
+const char* QueryShapeName(QueryShape shape);
+Result<QueryShape> ParseQueryShape(const std::string& name);
+
+/// \brief The selectivity classes of §5.2.1: |Q(G)| ~ beta * |G|^alpha
+/// with alpha ~ 0, 1, 2 respectively.
+enum class QuerySelectivity { kConstant, kLinear, kQuadratic };
+
+const char* QuerySelectivityName(QuerySelectivity sel);
+Result<QuerySelectivity> ParseQuerySelectivity(const std::string& name);
+
+/// \brief The size tuple t = ([rmin,rmax],[cmin,cmax],[dmin,dmax],
+/// [lmin,lmax]) (paper §3.3).
+struct QuerySize {
+  IntRange rules = IntRange::Exactly(1);
+  IntRange conjuncts = IntRange::Between(1, 3);
+  IntRange disjuncts = IntRange::Between(1, 2);
+  IntRange path_length = IntRange::Between(1, 3);
+
+  Status Validate() const;
+};
+
+/// \brief The full workload configuration (Def. 3.5). The graph
+/// configuration G is passed alongside, not embedded, so one schema can
+/// drive many workloads.
+struct WorkloadConfiguration {
+  std::string name = "workload";
+  size_t num_queries = 10;  ///< #q
+  IntRange arity = IntRange::Exactly(2);
+  std::vector<QueryShape> shapes = {QueryShape::kChain};
+  std::vector<QuerySelectivity> selectivities = {
+      QuerySelectivity::kConstant, QuerySelectivity::kLinear,
+      QuerySelectivity::kQuadratic};
+  double recursion_probability = 0.0;  ///< pr
+  QuerySize size;
+  uint64_t seed = 7;
+
+  /// When true (default), binary-query placeholders are instantiated
+  /// through the selectivity machinery of §5.2; when false the general
+  /// algorithm of §5.1 picks random schema walks (ablation).
+  bool selectivity_control = true;
+
+  Status Validate() const;
+};
+
+}  // namespace gmark
+
+#endif  // GMARK_QUERY_WORKLOAD_CONFIG_H_

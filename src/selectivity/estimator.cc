@@ -1,0 +1,152 @@
+#include "selectivity/estimator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace gmark {
+
+SelectivityEstimator::SelectivityEstimator(const GraphSchema* schema)
+    : schema_(schema), graph_(SchemaGraph::Build(*schema)) {}
+
+std::vector<SchemaNodeId> SelectivityEstimator::WalkPath(
+    const std::vector<SchemaNodeId>& from, const PathExpr& path) const {
+  std::vector<SchemaNodeId> states = from;
+  for (const Symbol& sym : path) {
+    std::set<SchemaNodeId> next;
+    for (SchemaNodeId s : states) {
+      for (const auto& e : graph_.OutEdges(s)) {
+        if (e.symbol == sym) next.insert(e.to);
+      }
+    }
+    states.assign(next.begin(), next.end());
+    if (states.empty()) break;
+  }
+  return states;
+}
+
+std::map<TypeId, SelTriple> SelectivityEstimator::EstimateRegex(
+    TypeId source, const RegularExpression& expr) const {
+  std::map<TypeId, SelTriple> result;
+  const std::vector<SchemaNodeId> base{graph_.StartNode(source)};
+  for (const PathExpr& path : expr.disjuncts) {
+    for (SchemaNodeId end : WalkPath(base, path)) {
+      const SchemaGraphNode& node = graph_.nodes()[end];
+      auto it = result.find(node.type);
+      if (it == result.end()) {
+        result.emplace(node.type, node.triple);
+      } else {
+        it->second = Disjoin(it->second, node.triple);
+      }
+    }
+  }
+  if (!expr.star) return result;
+  // Paper §5.2.2: sel_{A,A}(p*) = sel_{A,A}(p) . sel_{A,A}(p), defined
+  // only when the expression loops back to its input type.
+  std::map<TypeId, SelTriple> starred;
+  auto loop = result.find(source);
+  if (loop != result.end()) {
+    starred.emplace(source, Star(loop->second));
+  }
+  return starred;
+}
+
+std::map<TypeId, SelTriple> SelectivityEstimator::ApplyRegexFrom(
+    TypeId source, const RegularExpression& expr) const {
+  return EstimateRegex(source, expr);
+}
+
+Result<std::vector<Conjunct>> AsChain(const QueryRule& rule) {
+  if (rule.body.empty()) return Status::NotFound("empty body");
+  if (rule.body.size() == 1) return rule.body;
+
+  // Map each source variable to its conjunct; a chain uses each variable
+  // as a source at most once.
+  std::map<VarId, size_t> by_source;
+  std::set<VarId> targets;
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (!by_source.emplace(rule.body[i].source, i).second) {
+      return Status::NotFound("variable is the source of two conjuncts");
+    }
+    targets.insert(rule.body[i].target);
+  }
+  // The chain head is the source variable that is nobody's target.
+  size_t start = rule.body.size();
+  for (const auto& [var, idx] : by_source) {
+    if (targets.count(var) == 0) {
+      if (start != rule.body.size()) {
+        return Status::NotFound("multiple chain heads (star-shaped body)");
+      }
+      start = idx;
+    }
+  }
+  if (start == rule.body.size()) {
+    return Status::NotFound("no chain head (cyclic body)");
+  }
+  std::vector<Conjunct> chain;
+  chain.push_back(rule.body[start]);
+  while (chain.size() < rule.body.size()) {
+    auto it = by_source.find(chain.back().target);
+    if (it == by_source.end()) {
+      return Status::NotFound("disconnected body; not a chain");
+    }
+    chain.push_back(rule.body[it->second]);
+  }
+  return chain;
+}
+
+Result<int> SelectivityEstimator::EstimateAlpha(const Query& query) const {
+  int best = -1;
+  for (const QueryRule& rule : query.rules) {
+    auto chain_result = AsChain(rule);
+    if (!chain_result.ok()) {
+      return Status::Unsupported(
+          "selectivity estimation is defined for chain bodies (binary "
+          "queries): " +
+          chain_result.status().message());
+    }
+    const std::vector<Conjunct>& chain = chain_result.ValueOrDie();
+    for (TypeId a = 0; a < schema_->type_count(); ++a) {
+      SelType category =
+          schema_->IsFixedType(a) ? SelType::kOne : SelType::kN;
+      std::map<TypeId, SelTriple> states{{a, IdentityTriple(category)}};
+      for (const Conjunct& c : chain) {
+        std::map<TypeId, SelTriple> next;
+        for (const auto& [type, acc] : states) {
+          for (const auto& [type2, step] : EstimateRegex(type, c.expr)) {
+            SelTriple combined = Compose(acc, step);
+            auto it = next.find(type2);
+            if (it == next.end()) {
+              next.emplace(type2, combined);
+            } else {
+              it->second = Disjoin(it->second, combined);
+            }
+          }
+        }
+        states.swap(next);
+        if (states.empty()) break;
+      }
+      for (const auto& [type, triple] : states) {
+        (void)type;
+        best = std::max(best, AlphaOf(triple));
+      }
+    }
+  }
+  if (best < 0) {
+    return Status::NotFound(
+        "query cannot match any path allowed by the schema");
+  }
+  return best;
+}
+
+Result<QuerySelectivity> SelectivityEstimator::EstimateClass(
+    const Query& query) const {
+  GMARK_ASSIGN_OR_RETURN(int alpha, EstimateAlpha(query));
+  switch (alpha) {
+    case 0: return QuerySelectivity::kConstant;
+    case 2: return QuerySelectivity::kQuadratic;
+    default: return QuerySelectivity::kLinear;
+  }
+}
+
+}  // namespace gmark

@@ -1,0 +1,66 @@
+// Static, schema-only selectivity estimation for binary UCRPQs — the
+// paper's headline capability (§5.2.2): compute alpha-hat(Q) in {0,1,2}
+// from the schema alone, with no graph instance.
+
+#ifndef GMARK_SELECTIVITY_ESTIMATOR_H_
+#define GMARK_SELECTIVITY_ESTIMATOR_H_
+
+#include <map>
+
+#include "query/query.h"
+#include "selectivity/schema_graph.h"
+
+namespace gmark {
+
+/// \brief Schema-driven estimator over the selectivity algebra.
+///
+/// The estimator walks the schema graph G_S: the accumulated triple of
+/// the node reached from a type's identity node by a concrete symbol
+/// path is exactly sel_{A,B} of that path; disjuncts combine with the
+/// Fig. 7a table; stars iterate composition to a fixpoint; chain bodies
+/// compose left to right. alpha-hat(Q) = max over reachable (A, B)
+/// pairs, as in §5.2.2.
+class SelectivityEstimator {
+ public:
+  /// \brief `schema` must outlive the estimator.
+  explicit SelectivityEstimator(const GraphSchema* schema);
+
+  /// \brief Classes of a regular expression started from type `source`:
+  /// target type -> accumulated triple. Empty when no instance of the
+  /// expression can leave `source`.
+  std::map<TypeId, SelTriple> EstimateRegex(
+      TypeId source, const RegularExpression& expr) const;
+
+  /// \brief alpha-hat for a whole query. Rule bodies must be chains
+  /// (the shape for which the paper defines selectivity estimation);
+  /// other shapes return Unsupported. Unions take the max over rules.
+  Result<int> EstimateAlpha(const Query& query) const;
+
+  /// \brief alpha-hat mapped onto {constant, linear, quadratic}.
+  Result<QuerySelectivity> EstimateClass(const Query& query) const;
+
+  const SchemaGraph& schema_graph() const { return graph_; }
+  const GraphSchema& schema() const { return *schema_; }
+
+ private:
+  // Walk one concrete symbol path from a set of schema-graph states.
+  std::vector<SchemaNodeId> WalkPath(
+      const std::vector<SchemaNodeId>& from, const PathExpr& path) const;
+
+  // States reachable by applying `expr` from schema-graph node `from`
+  // (type-level start states), with triples re-accumulated from `from`.
+  std::map<TypeId, SelTriple> ApplyRegexFrom(
+      TypeId source, const RegularExpression& expr) const;
+
+  const GraphSchema* schema_;
+  SchemaGraph graph_;
+};
+
+/// \brief Reorder a rule body into a chain x0 -> x1 -> ... if possible
+/// (each variable used at most twice, conjuncts linkable end to end).
+/// Returns NotFound when the body is not a chain.
+Result<std::vector<Conjunct>> AsChain(const QueryRule& rule);
+
+}  // namespace gmark
+
+#endif  // GMARK_SELECTIVITY_ESTIMATOR_H_

@@ -1,0 +1,135 @@
+#include "selectivity/selectivity_class.h"
+
+namespace gmark {
+
+namespace {
+
+constexpr SelOp kE = SelOp::kEq;
+constexpr SelOp kL = SelOp::kLess;
+constexpr SelOp kG = SelOp::kGreater;
+constexpr SelOp kD = SelOp::kDiamond;
+constexpr SelOp kX = SelOp::kCross;
+
+// Fig. 7(b), concatenation, indexed [o1][o2]. Anchors: < . > = diamond,
+// > . < = cross, = is the identity on both sides.
+constexpr SelOp kComposeTable[5][5] = {
+    /* =  */ {kE, kL, kG, kD, kX},
+    /* <  */ {kL, kL, kD, kD, kX},
+    /* >  */ {kG, kX, kG, kX, kX},
+    /* <> */ {kD, kX, kD, kX, kX},
+    /* x  */ {kX, kX, kX, kX, kX},
+};
+
+// Fig. 7(a), disjunction, indexed [o1][o2]; commutative.
+constexpr SelOp kDisjoinTable[5][5] = {
+    /* =  */ {kE, kL, kG, kD, kX},
+    /* <  */ {kL, kL, kD, kD, kX},
+    /* >  */ {kG, kD, kG, kD, kX},
+    /* <> */ {kD, kD, kD, kD, kX},
+    /* x  */ {kX, kX, kX, kX, kX},
+};
+
+}  // namespace
+
+const char* SelOpName(SelOp op) {
+  switch (op) {
+    case SelOp::kEq: return "=";
+    case SelOp::kLess: return "<";
+    case SelOp::kGreater: return ">";
+    case SelOp::kDiamond: return "<>";
+    case SelOp::kCross: return "x";
+  }
+  return "?";
+}
+
+std::string SelTriple::ToString() const {
+  std::string out = "(";
+  out += left == SelType::kOne ? "1" : "N";
+  out += ",";
+  out += SelOpName(op);
+  out += ",";
+  out += right == SelType::kOne ? "1" : "N";
+  out += ")";
+  return out;
+}
+
+SelTriple IdentityTriple(SelType t) { return SelTriple{t, SelOp::kEq, t}; }
+
+SelOp ComposeOp(SelOp o1, SelOp o2) {
+  return kComposeTable[static_cast<int>(o1)][static_cast<int>(o2)];
+}
+
+SelOp DisjoinOp(SelOp o1, SelOp o2) {
+  return kDisjoinTable[static_cast<int>(o1)][static_cast<int>(o2)];
+}
+
+SelOp ReverseOp(SelOp op) {
+  switch (op) {
+    case SelOp::kLess: return SelOp::kGreater;
+    case SelOp::kGreater: return SelOp::kLess;
+    default: return op;
+  }
+}
+
+SelTriple Normalize(SelTriple t) {
+  const bool l1 = t.left == SelType::kOne;
+  const bool r1 = t.right == SelType::kOne;
+  if (l1 && r1) return SelTriple{SelType::kOne, SelOp::kEq, SelType::kOne};
+  if (l1) return SelTriple{SelType::kOne, SelOp::kLess, SelType::kN};
+  if (r1) return SelTriple{SelType::kN, SelOp::kGreater, SelType::kOne};
+  return t;
+}
+
+SelTriple Compose(SelTriple a, SelTriple b) {
+  return Normalize(SelTriple{a.left, ComposeOp(a.op, b.op), b.right});
+}
+
+SelTriple Disjoin(SelTriple a, SelTriple b) {
+  return Normalize(SelTriple{a.left, DisjoinOp(a.op, b.op), b.right});
+}
+
+SelTriple Reverse(SelTriple t) {
+  return Normalize(SelTriple{t.right, ReverseOp(t.op), t.left});
+}
+
+SelTriple Star(SelTriple t) { return Compose(t, t); }
+
+int AlphaOf(SelTriple t) {
+  t = Normalize(t);
+  if (t.left == SelType::kOne && t.right == SelType::kOne) return 0;
+  if (t.op == SelOp::kCross) return 2;
+  return 1;
+}
+
+QuerySelectivity ClassOf(SelTriple t) {
+  switch (AlphaOf(t)) {
+    case 0: return QuerySelectivity::kConstant;
+    case 2: return QuerySelectivity::kQuadratic;
+    default: return QuerySelectivity::kLinear;
+  }
+}
+
+SelTriple SymbolTriple(const GraphSchema& schema, const EdgeConstraint& c,
+                       bool inverse) {
+  const SelType t1 =
+      schema.IsFixedType(c.source_type) ? SelType::kOne : SelType::kN;
+  const SelType t2 =
+      schema.IsFixedType(c.target_type) ? SelType::kOne : SelType::kN;
+  const bool zipf_out = c.out_dist.IsZipfian();
+  const bool zipf_in = c.in_dist.IsZipfian();
+  SelOp op;
+  if (zipf_out && zipf_in) {
+    op = SelOp::kDiamond;
+  } else if (zipf_out) {
+    op = SelOp::kLess;
+  } else if (zipf_in) {
+    op = SelOp::kGreater;
+  } else {
+    op = SelOp::kEq;
+  }
+  SelTriple triple{t1, op, t2};
+  if (inverse) triple = Reverse(triple);
+  return Normalize(triple);
+}
+
+}  // namespace gmark

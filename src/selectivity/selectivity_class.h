@@ -1,0 +1,110 @@
+// The selectivity-class algebra of paper §5.2.2 (Table 1 and Fig. 7).
+//
+// Every node type is categorized as 1 (fixed count) or N (grows with the
+// graph). The selectivity class of a binary query Q restricted to types
+// (A, B) is a triple (Type(A), o, Type(B)) with operation
+// o in {=, <, >, diamond, cross}:
+//
+//   =        both neighborhoods bounded          alpha = 0 or 1
+//   <        result sources fan out (Zipf out, or fixed->growing)
+//   >        result targets fan in  (Zipf in, or growing->fixed)
+//   diamond  both unbounded, linear result       (e.g. "< then >")
+//   cross    Cartesian-product-like, quadratic   (e.g. "> then <")
+//
+// The operator semantics are anchored on Example 5.1 and the identities
+// of §5.2.2: diamond = < compose >, cross = > compose <. Concatenation
+// and disjunction of classes follow Fig. 7; triples containing a 1 are
+// normalized so that only (1,=,1), (1,<,N), (N,>,1) survive.
+
+#ifndef GMARK_SELECTIVITY_SELECTIVITY_CLASS_H_
+#define GMARK_SELECTIVITY_SELECTIVITY_CLASS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/schema.h"
+#include "query/workload_config.h"
+
+namespace gmark {
+
+/// \brief Type category: fixed-size (1) or growing with the graph (N).
+enum class SelType : uint8_t { kOne = 0, kN = 1 };
+
+/// \brief The five algebra operations of Table 1.
+enum class SelOp : uint8_t {
+  kEq = 0,       // =
+  kLess = 1,     // <
+  kGreater = 2,  // >
+  kDiamond = 3,  // paper's diamond
+  kCross = 4,    // paper's times/cross
+};
+
+/// \brief "=", "<", ">", "<>", "x".
+const char* SelOpName(SelOp op);
+
+/// \brief A selectivity class (t1, o, t2).
+struct SelTriple {
+  SelType left = SelType::kN;
+  SelOp op = SelOp::kEq;
+  SelType right = SelType::kN;
+
+  bool operator==(const SelTriple&) const = default;
+
+  /// \brief Dense code in [0, 20), usable as an array index / hash.
+  uint8_t Encode() const {
+    return static_cast<uint8_t>(
+        (static_cast<unsigned>(left) * 5 + static_cast<unsigned>(op)) * 2 +
+        static_cast<unsigned>(right));
+  }
+
+  /// \brief "(N,<,N)".
+  std::string ToString() const;
+};
+
+/// \brief Identity class for a type category: (t, =, t). This is
+/// sel_{A,A}(epsilon) in the paper.
+SelTriple IdentityTriple(SelType t);
+
+/// \brief Concatenation o1 . o2 (Fig. 7b).
+SelOp ComposeOp(SelOp o1, SelOp o2);
+
+/// \brief Disjunction o1 + o2 (Fig. 7a); commutative.
+SelOp DisjoinOp(SelOp o1, SelOp o2);
+
+/// \brief Swap roles of source/target: < and > flip, others unchanged.
+SelOp ReverseOp(SelOp op);
+
+/// \brief Keep only permitted triples containing 1: (1,o,1) -> (1,=,1),
+/// (1,o,N) -> (1,<,N), (N,o,1) -> (N,>,1); (N,o,N) unchanged.
+SelTriple Normalize(SelTriple t);
+
+/// \brief Concatenate two classes; `a.right` must equal `b.left`.
+SelTriple Compose(SelTriple a, SelTriple b);
+
+/// \brief Disjoin two classes over the same type pair.
+SelTriple Disjoin(SelTriple a, SelTriple b);
+
+/// \brief Class of the inverse relation.
+SelTriple Reverse(SelTriple t);
+
+/// \brief Kleene star: sel(p*) = sel(p) . sel(p) (paper §5.2.2; defined
+/// for loops, i.e. left and right categories equal).
+SelTriple Star(SelTriple t);
+
+/// \brief Estimated alpha of a class: (1,=,1) -> 0, (N,x,N) -> 2,
+/// otherwise 1 (paper end of §5.2.2).
+int AlphaOf(SelTriple t);
+
+/// \brief Map alpha to the workload-facing class enum.
+QuerySelectivity ClassOf(SelTriple t);
+
+/// \brief Class of a single schema edge (or its inverse): Zipfian out
+/// implies <, Zipfian in implies >, both imply diamond (so that the
+/// transitive closure of a power-law predicate is quadratic, §5.2.1),
+/// otherwise =; then type categories are applied and normalized.
+SelTriple SymbolTriple(const GraphSchema& schema, const EdgeConstraint& c,
+                       bool inverse);
+
+}  // namespace gmark
+
+#endif  // GMARK_SELECTIVITY_SELECTIVITY_CLASS_H_

@@ -1,0 +1,141 @@
+// openCypher translation. Dialect limits handled per paper §7.1:
+// variable-length patterns support neither inverse nor concatenation,
+// so starred disjuncts are reduced to their first non-inverse symbols;
+// multi-symbol disjunctions outside stars are expanded into UNION
+// branches (capped), since openCypher alternation `[:a|b]` only covers
+// single relationships.
+
+#include <sstream>
+#include <vector>
+
+#include "translate/translator_impl.h"
+
+namespace gmark {
+
+namespace {
+
+constexpr size_t kMaxUnionBranches = 256;
+
+/// One concrete MATCH pattern choice: for each conjunct, the index of
+/// the disjunct used.
+using BranchChoice = std::vector<size_t>;
+
+std::string StarredRelationship(const RegularExpression& expr,
+                                const GraphSchema& schema) {
+  // Keep only the first symbol of each disjunct, dropping inverses
+  // (paper §7.1: "the corresponding openCypher query has only the
+  // non-inverse symbol and/or the first symbol in a concatenation").
+  std::vector<std::string> labels;
+  for (const PathExpr& path : expr.disjuncts) {
+    for (const Symbol& s : path) {
+      if (s.inverse) continue;  // dropped
+      labels.push_back(schema.PredicateName(s.predicate));
+      break;  // first symbol only
+    }
+  }
+  std::string out = "-[:";
+  if (labels.empty()) {
+    // Nothing expressible survives; emit an impossible label so the
+    // query still parses (the paper's G returns empty answers here).
+    out += "__gmark_unsupported__";
+  } else {
+    for (size_t i = 0; i < labels.size(); ++i) {
+      if (i > 0) out += '|';
+      out += labels[i];
+    }
+  }
+  out += "*0..]->";
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> CypherTranslator::Translate(
+    const Query& query, const GraphSchema& schema,
+    const TranslateOptions& options) const {
+  std::vector<std::string> rule_queries;
+  for (size_t r = 0; r < query.rules.size(); ++r) {
+    const QueryRule& rule = query.rules[r];
+
+    // Enumerate disjunct choices (branches) for non-starred conjuncts.
+    std::vector<size_t> branch_sizes;
+    for (const Conjunct& c : rule.body) {
+      branch_sizes.push_back(c.expr.star ? 1 : c.expr.disjuncts.size());
+    }
+    size_t total_branches = 1;
+    for (size_t s : branch_sizes) {
+      total_branches *= s;
+      if (total_branches > kMaxUnionBranches) {
+        return Status::Unsupported(
+            "openCypher expansion exceeds the UNION branch cap");
+      }
+    }
+
+    for (size_t branch = 0; branch < total_branches; ++branch) {
+      BranchChoice choice(rule.body.size());
+      size_t rem = branch;
+      for (size_t i = 0; i < branch_sizes.size(); ++i) {
+        choice[i] = rem % branch_sizes[i];
+        rem /= branch_sizes[i];
+      }
+
+      std::ostringstream match;
+      int anon = 0;
+      match << "MATCH ";
+      for (size_t ci = 0; ci < rule.body.size(); ++ci) {
+        const Conjunct& c = rule.body[ci];
+        if (ci > 0) match << ", ";
+        match << "(" << TranslateVarName(rule, r, c.source) << ")";
+        if (c.expr.star) {
+          match << StarredRelationship(c.expr, schema);
+        } else {
+          const PathExpr& path = c.expr.disjuncts[choice[ci]];
+          if (path.empty()) {
+            return Status::Unsupported("epsilon path in openCypher");
+          }
+          for (size_t si = 0; si < path.size(); ++si) {
+            const Symbol& s = path[si];
+            if (si > 0) {
+              match << "(_a" << anon++ << ")";
+            }
+            if (s.inverse) {
+              match << "<-[:" << schema.PredicateName(s.predicate) << "]-";
+            } else {
+              match << "-[:" << schema.PredicateName(s.predicate) << "]->";
+            }
+          }
+        }
+        match << "(" << TranslateVarName(rule, r, c.target) << ")";
+      }
+
+      std::ostringstream ret;
+      if (rule.head.empty()) {
+        ret << "RETURN count(*) > 0 AS nonempty";
+      } else {
+        ret << "RETURN DISTINCT ";
+        for (size_t i = 0; i < rule.head.size(); ++i) {
+          if (i > 0) ret << ", ";
+          ret << TranslateVarName(rule, r, rule.head[i]) << " AS h" << i;
+        }
+      }
+      rule_queries.push_back(match.str() + "\n" + ret.str());
+    }
+  }
+
+  std::ostringstream os;
+  for (size_t i = 0; i < rule_queries.size(); ++i) {
+    if (i > 0) os << "\nUNION\n";
+    os << rule_queries[i];
+  }
+  os << "\n";
+  if (options.count_distinct && query.arity() > 0) {
+    // Wrap with the measurement aggregate via a CALL subquery.
+    std::string inner = os.str();
+    std::ostringstream wrapped;
+    wrapped << "CALL {\n" << inner << "}\nRETURN count(*) AS cnt\n";
+    return wrapped.str();
+  }
+  return os.str();
+}
+
+}  // namespace gmark

@@ -1,0 +1,65 @@
+// Seeded random engine and the degree-distribution draws used by the
+// graph generator (Fig. 5 of the paper). All generation in gMark is
+// deterministic given the seed carried by the configuration.
+
+#ifndef GMARK_UTIL_RANDOM_H_
+#define GMARK_UTIL_RANDOM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace gmark {
+
+/// \brief Deterministic pseudo-random source shared by all generators.
+///
+/// Thin wrapper over std::mt19937_64 exposing exactly the draw shapes
+/// gMark needs. Not thread-safe; each generation pipeline owns one.
+class RandomEngine {
+ public:
+  /// \brief Create an engine from a seed; equal seeds give equal streams.
+  explicit RandomEngine(uint64_t seed = 0x9E3779B97F4A7C15ULL) : rng_(seed) {}
+
+  /// \brief Uniform integer in the closed interval [lo, hi].
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    if (lo >= hi) return lo;
+    return std::uniform_int_distribution<int64_t>(lo, hi)(rng_);
+  }
+
+  /// \brief Uniform real in [0, 1).
+  double UniformReal() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(rng_);
+  }
+
+  /// \brief Gaussian draw rounded to the nearest non-negative integer.
+  int64_t GaussianInt(double mean, double stddev) {
+    double d = std::normal_distribution<double>(mean, stddev)(rng_);
+    if (d < 0.0) d = 0.0;
+    return static_cast<int64_t>(d + 0.5);
+  }
+
+  /// \brief Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return UniformReal() < p; }
+
+  /// \brief Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    std::shuffle(v->begin(), v->end(), rng_);
+  }
+
+  /// \brief Pick an index in [0, weights.size()) proportionally to weights.
+  ///
+  /// Returns weights.size() if every weight is zero (no valid choice).
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// \brief Access to the underlying engine for std distributions.
+  std::mt19937_64& raw() { return rng_; }
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+}  // namespace gmark
+
+#endif  // GMARK_UTIL_RANDOM_H_

@@ -1,0 +1,91 @@
+// Result<T>: value-or-Status, the return type of fallible constructors and
+// parsers throughout gMark (Arrow idiom).
+
+#ifndef GMARK_UTIL_RESULT_H_
+#define GMARK_UTIL_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace gmark {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Accessing the value of a failed Result aborts the process with a
+/// diagnostic; callers are expected to test ok() (or use
+/// GMARK_ASSIGN_OR_RETURN) first.
+template <typename T>
+class Result {
+ public:
+  /// \brief Construct a successful result.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// \brief Construct a failed result. `status` must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : payload_(std::move(status)) {
+    if (std::get<Status>(payload_).ok()) {
+      std::cerr << "Result constructed from OK status\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// \brief The error status; OK if the result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// \brief Access the value; aborts if the result holds an error.
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return std::get<T>(payload_);
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return std::get<T>(payload_);
+  }
+  T&& ValueOrDie() && {
+    DieIfError();
+    return std::move(std::get<T>(payload_));
+  }
+
+  /// \brief Alias for ValueOrDie, mirroring Arrow's spelling.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+
+  const T* operator->() const {
+    DieIfError();
+    return &std::get<T>(payload_);
+  }
+  T* operator->() {
+    DieIfError();
+    return &std::get<T>(payload_);
+  }
+
+  /// \brief Value if ok, otherwise the supplied fallback.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<T>(payload_);
+    return fallback;
+  }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on error: "
+                << std::get<Status>(payload_).ToString() << "\n";
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace gmark
+
+#endif  // GMARK_UTIL_RESULT_H_

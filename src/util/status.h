@@ -1,0 +1,117 @@
+// Arrow-style Status for fallible operations. Library code in gMark does
+// not throw; every operation that can fail returns Status or Result<T>.
+
+#ifndef GMARK_UTIL_STATUS_H_
+#define GMARK_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace gmark {
+
+/// \brief Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input (configs, regexes, ids).
+  kNotFound,          ///< Missing file, predicate, type, or node.
+  kAlreadyExists,     ///< Duplicate name registration.
+  kOutOfRange,        ///< Index or parameter outside its domain.
+  kUnsupported,       ///< Feature outside the engine/translator dialect.
+  kResourceExhausted, ///< Budget exceeded (tuples, time) during evaluation.
+  kIOError,           ///< Filesystem failure.
+  kInternal,          ///< Invariant violation; indicates a bug.
+};
+
+/// \brief Human-readable name of a status code (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Result status of an operation: a code plus a context message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy in the
+/// OK case and carry their message by value otherwise.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// \brief Construct a success status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsUnsupported() const { return code_ == StatusCode::kUnsupported; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace gmark
+
+/// \brief Propagate a non-OK Status to the caller.
+#define GMARK_RETURN_NOT_OK(expr)                 \
+  do {                                            \
+    ::gmark::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+/// \brief Evaluate a Result<T> expression, propagating failure, binding the
+/// value otherwise. Usage: GMARK_ASSIGN_OR_RETURN(auto v, MakeV());
+#define GMARK_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define GMARK_ASSIGN_OR_RETURN_CONCAT_INNER(x, y) x##y
+#define GMARK_ASSIGN_OR_RETURN_CONCAT(x, y) \
+  GMARK_ASSIGN_OR_RETURN_CONCAT_INNER(x, y)
+
+#define GMARK_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  GMARK_ASSIGN_OR_RETURN_IMPL(                                              \
+      GMARK_ASSIGN_OR_RETURN_CONCAT(_gmark_result_, __LINE__), lhs, rexpr)
+
+#endif  // GMARK_UTIL_STATUS_H_

@@ -1,0 +1,33 @@
+// Wall-clock timing used by the benchmark harnesses.
+
+#ifndef GMARK_UTIL_TIMER_H_
+#define GMARK_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace gmark {
+
+/// \brief Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  /// \brief Reset the origin to now.
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// \brief Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(d).count();
+  }
+
+  /// \brief Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace gmark
+
+#endif  // GMARK_UTIL_TIMER_H_

@@ -1,0 +1,71 @@
+#include "util/zipf.h"
+
+#include <cmath>
+
+namespace gmark {
+
+ZipfSampler::ZipfSampler(double s, int64_t max)
+    : s_(s > 0.0 ? s : 1.0), max_(max < 1 ? 1 : max) {
+  h_x1_ = H(1.5) - 1.0;
+  h_max_ = H(static_cast<double>(max_) + 0.5);
+  surface_ = h_max_ - h_x1_;
+}
+
+double ZipfSampler::H(double x) const {
+  // Antiderivative of t^-s: (x^(1-s) - 1) / (1 - s), with the s == 1
+  // limit log(x). The +/-1 offsets cancel in differences.
+  if (std::abs(s_ - 1.0) < 1e-9) return std::log(x);
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfSampler::HInverse(double x) const {
+  if (std::abs(s_ - 1.0) < 1e-9) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+int64_t ZipfSampler::Sample(RandomEngine* rng) const {
+  if (max_ == 1) return 1;
+  // Rejection-inversion (Hörmann & Derflinger): invert the continuous
+  // envelope H, round to the nearest integer, accept iff the envelope
+  // mass at u exceeds the left-out sliver H(k+1/2) - k^-s.
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    double u = h_max_ - rng->UniformReal() * surface_;
+    double x = HInverse(u);
+    int64_t k = static_cast<int64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > max_) k = max_;
+    if (u >= H(static_cast<double>(k) + 0.5) -
+                 std::pow(static_cast<double>(k), -s_)) {
+      return k;
+    }
+  }
+  return 1;  // Statistically unreachable; keeps the sampler total.
+}
+
+double ZipfSampler::Mean() const {
+  // Exact head sum, plus a midpoint-rule integral tail for very large
+  // supports. The head dominates both sums for s > 1, so the tail
+  // approximation error is negligible.
+  const int64_t exact_terms = std::min<int64_t>(max_, 4096);
+  double num = 0.0, den = 0.0;
+  for (int64_t k = 1; k <= exact_terms; ++k) {
+    double w = std::pow(static_cast<double>(k), -s_);
+    num += w * static_cast<double>(k);
+    den += w;
+  }
+  if (max_ > exact_terms) {
+    auto tail = [&](double power) {
+      // integral of x^power over [exact_terms + 0.5, max + 0.5].
+      double a = static_cast<double>(exact_terms) + 0.5;
+      double b = static_cast<double>(max_) + 0.5;
+      double q = power + 1.0;
+      if (std::abs(q) < 1e-9) return std::log(b / a);
+      return (std::pow(b, q) - std::pow(a, q)) / q;
+    };
+    num += tail(1.0 - s_);
+    den += tail(-s_);
+  }
+  return den > 0.0 ? num / den : 1.0;
+}
+
+}  // namespace gmark

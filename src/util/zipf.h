@@ -1,0 +1,55 @@
+// Bounded Zipf (power-law) sampler.
+//
+// gMark's schema language exposes a Zipfian degree distribution with
+// exponent s (default 2.5, matching the original implementation). The
+// support is [1, max]; hub degrees therefore grow when `max` grows with
+// the graph, which is what makes transitive closures of power-law
+// predicates quadratic (paper §5.2.1).
+
+#ifndef GMARK_UTIL_ZIPF_H_
+#define GMARK_UTIL_ZIPF_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace gmark {
+
+/// \brief Draws integers k in [1, max] with P(k) proportional to k^-s.
+///
+/// Uses Devroye-style rejection-inversion so draws are O(1) regardless of
+/// the support size (no CDF table). Deterministic given the RandomEngine.
+class ZipfSampler {
+ public:
+  /// \brief Create a sampler with exponent `s` (> 0) and support [1, max].
+  ///
+  /// s is typically > 1; values in (0, 1] are accepted and simply give a
+  /// heavier tail. max < 1 is clamped to 1.
+  ZipfSampler(double s, int64_t max);
+
+  /// \brief Draw one value in [1, max].
+  int64_t Sample(RandomEngine* rng) const;
+
+  /// \brief Exact mean of the distribution (computed by summation for
+  /// small supports, integral approximation for large ones).
+  double Mean() const;
+
+  double exponent() const { return s_; }
+  int64_t max() const { return max_; }
+
+ private:
+  // H(x) = integral of x^-s, the continuous envelope used by
+  // rejection-inversion; h_integral_* cache H at the support edges.
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  double s_;
+  int64_t max_;
+  double h_x1_;         // H(1.5) - 1.0
+  double h_max_;        // H(max + 0.5)
+  double surface_;      // h_max_ - h_x1_
+};
+
+}  // namespace gmark
+
+#endif  // GMARK_UTIL_ZIPF_H_

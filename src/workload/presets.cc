@@ -1,0 +1,61 @@
+#include "workload/presets.h"
+
+namespace gmark {
+
+const char* WorkloadPresetName(WorkloadPreset preset) {
+  switch (preset) {
+    case WorkloadPreset::kLen: return "Len";
+    case WorkloadPreset::kDis: return "Dis";
+    case WorkloadPreset::kCon: return "Con";
+    case WorkloadPreset::kRec: return "Rec";
+  }
+  return "?";
+}
+
+std::vector<WorkloadPreset> AllWorkloadPresets() {
+  return {WorkloadPreset::kLen, WorkloadPreset::kDis, WorkloadPreset::kCon,
+          WorkloadPreset::kRec};
+}
+
+WorkloadConfiguration MakePresetWorkload(WorkloadPreset preset,
+                                         size_t num_queries, uint64_t seed) {
+  WorkloadConfiguration config;
+  config.name = WorkloadPresetName(preset);
+  config.num_queries = num_queries;
+  config.seed = seed;
+  config.arity = IntRange::Exactly(2);
+  config.shapes = {QueryShape::kChain};
+  config.selectivities = {QuerySelectivity::kConstant,
+                          QuerySelectivity::kLinear,
+                          QuerySelectivity::kQuadratic};
+  config.size.rules = IntRange::Exactly(1);
+  switch (preset) {
+    case WorkloadPreset::kLen:
+      config.size.conjuncts = IntRange::Exactly(1);
+      config.size.disjuncts = IntRange::Exactly(1);
+      config.size.path_length = IntRange::Between(1, 4);
+      config.recursion_probability = 0.0;
+      break;
+    case WorkloadPreset::kDis:
+      config.size.conjuncts = IntRange::Exactly(1);
+      config.size.disjuncts = IntRange::Between(2, 4);
+      config.size.path_length = IntRange::Between(1, 3);
+      config.recursion_probability = 0.0;
+      break;
+    case WorkloadPreset::kCon:
+      config.size.conjuncts = IntRange::Between(2, 3);
+      config.size.disjuncts = IntRange::Between(1, 3);
+      config.size.path_length = IntRange::Between(1, 3);
+      config.recursion_probability = 0.0;
+      break;
+    case WorkloadPreset::kRec:
+      config.size.conjuncts = IntRange::Between(1, 2);
+      config.size.disjuncts = IntRange::Between(1, 2);
+      config.size.path_length = IntRange::Between(1, 3);
+      config.recursion_probability = 0.6;
+      break;
+  }
+  return config;
+}
+
+}  // namespace gmark

@@ -1,0 +1,39 @@
+// The four diversity stress-test workloads of the paper's §6.2:
+//
+//   Len — varying path lengths; no disjunction, no conjunction, no
+//         recursion (single-conjunct, single-disjunct chains).
+//   Dis — disjunction; no conjunction, no recursion.
+//   Con — conjunction and disjunction; no recursion.
+//   Rec — recursion (Kleene stars).
+//
+// Each preset produces #q queries cycling through the three selectivity
+// classes, so the default 30 queries split 10 constant / 10 linear /
+// 10 quadratic, exactly as in the paper.
+
+#ifndef GMARK_WORKLOAD_PRESETS_H_
+#define GMARK_WORKLOAD_PRESETS_H_
+
+#include <string>
+#include <vector>
+
+#include "query/workload_config.h"
+
+namespace gmark {
+
+/// \brief The §6.2 workload presets.
+enum class WorkloadPreset { kLen, kDis, kCon, kRec };
+
+/// \brief "Len", "Dis", "Con", "Rec".
+const char* WorkloadPresetName(WorkloadPreset preset);
+
+/// \brief All presets in paper order.
+std::vector<WorkloadPreset> AllWorkloadPresets();
+
+/// \brief Build the configuration for a preset.
+WorkloadConfiguration MakePresetWorkload(WorkloadPreset preset,
+                                         size_t num_queries = 30,
+                                         uint64_t seed = 7);
+
+}  // namespace gmark
+
+#endif  // GMARK_WORKLOAD_PRESETS_H_

@@ -1,0 +1,445 @@
+#include "workload/query_generator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace gmark {
+
+namespace {
+
+constexpr int kMaxRuleAttempts = 25;
+
+int DrawInRange(const IntRange& r, RandomEngine* rng) {
+  return static_cast<int>(rng->UniformInt(r.min, r.max));
+}
+
+/// Variable-level query skeleton (Fig. 6 line 2): conjuncts as
+/// (source var, target var) pairs.
+struct Skeleton {
+  std::vector<std::pair<VarId, VarId>> conjuncts;
+  VarId var_count = 0;
+};
+
+Skeleton BuildSkeleton(QueryShape shape, int c, RandomEngine* rng) {
+  Skeleton s;
+  switch (shape) {
+    case QueryShape::kChain: {
+      for (int i = 0; i < c; ++i) s.conjuncts.emplace_back(i, i + 1);
+      s.var_count = c + 1;
+      return s;
+    }
+    case QueryShape::kStar: {
+      // All conjuncts share the starting variable (paper §5.1).
+      for (int i = 1; i <= c; ++i) s.conjuncts.emplace_back(0, i);
+      s.var_count = c + 1;
+      return s;
+    }
+    case QueryShape::kCycle: {
+      if (c < 2) return BuildSkeleton(QueryShape::kChain, c, rng);
+      // Two chains sharing both endpoint variables x0 and xh.
+      int h = c / 2;
+      for (int i = 0; i < h; ++i) s.conjuncts.emplace_back(i, i + 1);
+      int rest = c - h;
+      VarId prev = 0;
+      for (int i = 0; i < rest - 1; ++i) {
+        VarId fresh = h + 1 + i;
+        s.conjuncts.emplace_back(prev, fresh);
+        prev = fresh;
+      }
+      s.conjuncts.emplace_back(prev, h);
+      s.var_count = h + rest;
+      return s;
+    }
+    case QueryShape::kStarChain: {
+      // A chain backbone with star legs hanging off random chain vars.
+      int backbone = (c + 1) / 2;
+      for (int i = 0; i < backbone; ++i) s.conjuncts.emplace_back(i, i + 1);
+      VarId next_var = backbone + 1;
+      for (int i = backbone; i < c; ++i) {
+        VarId attach =
+            static_cast<VarId>(rng->UniformInt(0, backbone));
+        s.conjuncts.emplace_back(attach, next_var++);
+      }
+      s.var_count = next_var;
+      return s;
+    }
+  }
+  return s;
+}
+
+/// Pick projection variables (Fig. 6 line 3). Chain endpoints come
+/// first so binary selectivity-controlled queries project the pair the
+/// class was computed for.
+std::vector<VarId> PickHead(int arity, VarId var_count, VarId first,
+                            VarId last, RandomEngine* rng) {
+  std::vector<VarId> head;
+  if (arity <= 0) return head;
+  head.push_back(first);
+  if (arity >= 2 && last != first) head.push_back(last);
+  std::vector<VarId> rest;
+  for (VarId v = 0; v < var_count; ++v) {
+    if (v != first && v != last) rest.push_back(v);
+  }
+  rng->Shuffle(&rest);
+  for (VarId v : rest) {
+    if (static_cast<int>(head.size()) >= arity) break;
+    head.push_back(v);
+  }
+  return head;
+}
+
+}  // namespace
+
+std::vector<Query> Workload::RawQueries() const {
+  std::vector<Query> out;
+  out.reserve(queries.size());
+  for (const auto& gq : queries) out.push_back(gq.query);
+  return out;
+}
+
+QueryGenerator::QueryGenerator(const GraphSchema* schema)
+    : schema_(schema), graph_(SchemaGraph::Build(*schema)) {}
+
+Result<std::pair<PathExpr, SchemaNodeId>> QueryGenerator::RandomWalk(
+    SchemaNodeId from, IntRange length, RandomEngine* rng) const {
+  int target_len = DrawInRange(length, rng);
+  PathExpr path;
+  SchemaNodeId current = from;
+  for (int step = 0; step < target_len; ++step) {
+    auto edges = graph_.OutEdges(current);
+    if (edges.empty()) {
+      if (step >= length.min) break;  // Length already admissible.
+      return Status::NotFound("random walk hit a dead end");
+    }
+    const auto& e = edges[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(edges.size()) - 1))];
+    path.push_back(e.symbol);
+    current = e.to;
+  }
+  if (static_cast<int>(path.size()) < length.min) {
+    return Status::NotFound("random walk shorter than the minimum length");
+  }
+  return std::make_pair(std::move(path), current);
+}
+
+Result<std::pair<PathExpr, SchemaNodeId>> QueryGenerator::SamplePathToType(
+    SchemaNodeId from, TypeId target_type, IntRange length,
+    RandomEngine* rng) const {
+  std::vector<SchemaNodeId> candidates;
+  std::vector<double> weights;
+  for (SchemaNodeId v = 0; v < graph_.node_count(); ++v) {
+    if (graph_.nodes()[v].type != target_type) continue;
+    double total = 0.0;
+    for (int len = length.min; len <= length.max; ++len) {
+      total += graph_.CountPaths(from, v, len);
+    }
+    if (total > 0.0) {
+      candidates.push_back(v);
+      weights.push_back(total);
+    }
+  }
+  size_t pick = rng->WeightedIndex(weights);
+  if (pick == weights.size()) {
+    return Status::NotFound("no schema path of length " + length.ToString() +
+                            " reaching type " +
+                            schema_->TypeName(target_type));
+  }
+  GMARK_ASSIGN_OR_RETURN(PathExpr path,
+                         graph_.SamplePath(from, candidates[pick], length,
+                                           rng));
+  return std::make_pair(std::move(path), candidates[pick]);
+}
+
+Result<PathExpr> QueryGenerator::SampleLoopPath(TypeId type, IntRange length,
+                                                RandomEngine* rng) const {
+  GMARK_ASSIGN_OR_RETURN(
+      auto path_and_node,
+      SamplePathToType(graph_.StartNode(type), type, length, rng));
+  return path_and_node.first;
+}
+
+Result<RegularExpression> QueryGenerator::BuildRegex(
+    SchemaNodeId from, SchemaNodeId to, int num_disjuncts, IntRange length,
+    RandomEngine* rng) const {
+  RegularExpression expr;
+  std::set<PathExpr> seen;
+  // A few extra attempts to find distinct disjuncts; duplicates are
+  // semantically void, so they are dropped rather than emitted.
+  int attempts = num_disjuncts * 3;
+  while (static_cast<int>(expr.disjuncts.size()) < num_disjuncts &&
+         attempts-- > 0) {
+    auto path = graph_.SamplePath(from, to, length, rng);
+    if (!path.ok()) break;
+    if (seen.insert(path.ValueOrDie()).second) {
+      expr.disjuncts.push_back(std::move(path).ValueOrDie());
+    }
+  }
+  if (expr.disjuncts.empty()) {
+    return Status::NotFound("no disjunct path available between the "
+                            "requested schema-graph nodes");
+  }
+  return expr;
+}
+
+Result<QueryRule> QueryGenerator::GenerateControlledChainRule(
+    const WorkloadConfiguration& config, QuerySelectivity target,
+    const SelectivityGraph& gsel, RandomEngine* rng) const {
+  const IntRange len = config.size.path_length;
+  int c = DrawInRange(config.size.conjuncts, rng);
+
+  // Decide which conjuncts carry a Kleene star (probability pr). At
+  // least one conjunct stays plain: starred conjuncts are
+  // selectivity-neutral loops (§5.2.4) and cannot anchor the class.
+  std::vector<bool> starred(static_cast<size_t>(c), false);
+  for (int i = 0; i < c; ++i) {
+    starred[static_cast<size_t>(i)] =
+        rng->Bernoulli(config.recursion_probability);
+  }
+  int non_star = static_cast<int>(
+      std::count(starred.begin(), starred.end(), false));
+  if (non_star == 0) {
+    starred[static_cast<size_t>(rng->UniformInt(0, c - 1))] = false;
+    non_star = 1;
+  }
+
+  // The conjunct-level walk in G_sel: relax the conjunct count within
+  // its range if the drawn count is infeasible for this class.
+  Result<std::vector<SchemaNodeId>> walk =
+      gsel.SampleConjunctChain(target, non_star, rng);
+  if (!walk.ok()) {
+    for (int k = config.size.conjuncts.min; k <= config.size.conjuncts.max;
+         ++k) {
+      walk = gsel.SampleConjunctChain(target, k, rng);
+      if (walk.ok()) {
+        c = k;
+        starred.assign(static_cast<size_t>(k), false);
+        break;
+      }
+    }
+  }
+  GMARK_RETURN_NOT_OK(walk.status());
+  const std::vector<SchemaNodeId>& nodes = walk.ValueOrDie();
+
+  QueryRule rule;
+  VarId var = 0;
+  size_t wpos = 0;
+  for (int i = 0; i < c; ++i) {
+    Conjunct conj;
+    conj.source = var;
+    conj.target = var + 1;
+    if (starred[static_cast<size_t>(i)]) {
+      // Starred conjuncts inherit the neighbouring type and keep the
+      // accumulated class unchanged (operator '=', §5.2.4).
+      TypeId t = graph_.nodes()[nodes[wpos]].type;
+      RegularExpression expr;
+      std::set<PathExpr> seen;
+      int want = DrawInRange(config.size.disjuncts, rng);
+      for (int attempt = 0; attempt < want * 3; ++attempt) {
+        auto loop = SampleLoopPath(t, len, rng);
+        if (!loop.ok()) break;
+        if (seen.insert(loop.ValueOrDie()).second) {
+          expr.disjuncts.push_back(std::move(loop).ValueOrDie());
+        }
+        if (static_cast<int>(expr.disjuncts.size()) >= want) break;
+      }
+      if (expr.disjuncts.empty()) {
+        return Status::NotFound("no loop path for a starred conjunct at " +
+                                schema_->TypeName(t));
+      }
+      expr.star = true;
+      conj.expr = std::move(expr);
+    } else {
+      int d = DrawInRange(config.size.disjuncts, rng);
+      GMARK_ASSIGN_OR_RETURN(
+          conj.expr, BuildRegex(nodes[wpos], nodes[wpos + 1], d, len, rng));
+      ++wpos;
+    }
+    rule.body.push_back(std::move(conj));
+    ++var;
+  }
+  return rule;
+}
+
+Result<QueryRule> QueryGenerator::GenerateFreeRule(
+    const WorkloadConfiguration& config, QueryShape shape,
+    RandomEngine* rng) const {
+  const IntRange len = config.size.path_length;
+  int c = DrawInRange(config.size.conjuncts, rng);
+  Skeleton skeleton = BuildSkeleton(shape, c, rng);
+
+  // Identity nodes with outgoing edges are valid anchors for fresh
+  // variables.
+  std::vector<SchemaNodeId> roots;
+  for (TypeId t = 0; t < schema_->type_count(); ++t) {
+    SchemaNodeId n = graph_.StartNode(t);
+    if (!graph_.OutEdges(n).empty()) roots.push_back(n);
+  }
+  if (roots.empty()) {
+    return Status::NotFound("schema admits no paths at all");
+  }
+
+  std::map<VarId, SchemaNodeId> anchor;
+  QueryRule rule;
+  for (const auto& [u, w] : skeleton.conjuncts) {
+    if (anchor.find(u) == anchor.end()) {
+      anchor[u] = roots[static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(roots.size()) - 1))];
+    }
+    SchemaNodeId from = anchor[u];
+    Conjunct conj;
+    conj.source = u;
+    conj.target = w;
+    bool starred = rng->Bernoulli(config.recursion_probability);
+    int d = DrawInRange(config.size.disjuncts, rng);
+
+    if (starred) {
+      TypeId t = graph_.nodes()[from].type;
+      auto loop = SampleLoopPath(t, len, rng);
+      if (loop.ok()) {
+        RegularExpression expr;
+        expr.star = true;
+        std::set<PathExpr> seen;
+        seen.insert(loop.ValueOrDie());
+        expr.disjuncts.push_back(std::move(loop).ValueOrDie());
+        for (int attempt = 1; attempt < d * 3 &&
+                              static_cast<int>(expr.disjuncts.size()) < d;
+             ++attempt) {
+          auto extra = SampleLoopPath(t, len, rng);
+          if (!extra.ok()) break;
+          if (seen.insert(extra.ValueOrDie()).second) {
+            expr.disjuncts.push_back(std::move(extra).ValueOrDie());
+          }
+        }
+        conj.expr = std::move(expr);
+        // A starred conjunct loops on its own type.
+        if (anchor.find(w) == anchor.end()) {
+          anchor[w] = graph_.StartNode(t);
+        }
+        rule.body.push_back(std::move(conj));
+        continue;
+      }
+      // No loop exists here: fall through to a plain conjunct.
+    }
+
+    if (anchor.find(w) != anchor.end()) {
+      // Both endpoints typed already: close the pattern.
+      TypeId trg_type = graph_.nodes()[anchor[w]].type;
+      GMARK_ASSIGN_OR_RETURN(auto first,
+                             SamplePathToType(from, trg_type, len, rng));
+      RegularExpression expr;
+      std::set<PathExpr> seen;
+      seen.insert(first.first);
+      expr.disjuncts.push_back(std::move(first.first));
+      for (int attempt = 1; attempt < d * 3 &&
+                            static_cast<int>(expr.disjuncts.size()) < d;
+           ++attempt) {
+        auto extra = SamplePathToType(from, trg_type, len, rng);
+        if (!extra.ok()) break;
+        if (seen.insert(extra.ValueOrDie().first).second) {
+          expr.disjuncts.push_back(std::move(extra.ValueOrDie().first));
+        }
+      }
+      conj.expr = std::move(expr);
+    } else {
+      GMARK_ASSIGN_OR_RETURN(auto walk, RandomWalk(from, len, rng));
+      TypeId end_type = graph_.nodes()[walk.second].type;
+      anchor[w] = graph_.StartNode(end_type);
+      RegularExpression expr;
+      std::set<PathExpr> seen;
+      seen.insert(walk.first);
+      expr.disjuncts.push_back(std::move(walk.first));
+      for (int attempt = 1; attempt < d * 3 &&
+                            static_cast<int>(expr.disjuncts.size()) < d;
+           ++attempt) {
+        auto extra = SamplePathToType(from, end_type, len, rng);
+        if (!extra.ok()) break;
+        if (seen.insert(extra.ValueOrDie().first).second) {
+          expr.disjuncts.push_back(std::move(extra.ValueOrDie().first));
+        }
+      }
+      conj.expr = std::move(expr);
+    }
+    rule.body.push_back(std::move(conj));
+  }
+  return rule;
+}
+
+Result<GeneratedQuery> QueryGenerator::GenerateOne(
+    const WorkloadConfiguration& config, QueryShape shape,
+    std::optional<QuerySelectivity> target, RandomEngine* rng) const {
+  const bool controlled =
+      target.has_value() && shape == QueryShape::kChain;
+  // G_sel depends only on the per-conjunct path length range.
+  SelectivityGraph gsel =
+      SelectivityGraph::Build(&graph_, config.size.path_length);
+
+  Status last_error = Status::OK();
+  for (int attempt = 0; attempt < kMaxRuleAttempts; ++attempt) {
+    int num_rules = DrawInRange(config.size.rules, rng);
+    int arity = DrawInRange(config.arity, rng);
+    GeneratedQuery gq;
+    gq.shape = shape;
+    gq.target_class = controlled ? target : std::nullopt;
+    bool failed = false;
+    for (int r = 0; r < num_rules; ++r) {
+      Result<QueryRule> rule =
+          controlled
+              ? GenerateControlledChainRule(config, *target, gsel, rng)
+              : GenerateFreeRule(config, shape, rng);
+      if (!rule.ok()) {
+        last_error = rule.status();
+        failed = true;
+        break;
+      }
+      QueryRule qr = std::move(rule).ValueOrDie();
+      VarId max_var = 0;
+      for (const auto& conj : qr.body) {
+        max_var = std::max({max_var, conj.source, conj.target});
+      }
+      qr.head = PickHead(arity, max_var + 1, 0, max_var, rng);
+      gq.query.rules.push_back(std::move(qr));
+    }
+    if (failed) continue;
+    GMARK_RETURN_NOT_OK(gq.query.Validate(*schema_));
+    return gq;
+  }
+  if (last_error.ok()) {
+    last_error = Status::Internal("query generation exhausted attempts");
+  }
+  return last_error;
+}
+
+Result<Workload> QueryGenerator::Generate(
+    const WorkloadConfiguration& config) const {
+  GMARK_RETURN_NOT_OK(config.Validate());
+  RandomEngine rng(config.seed);
+  Workload workload;
+  workload.name = config.name;
+  for (size_t i = 0; i < config.num_queries; ++i) {
+    QueryShape shape = config.shapes[i % config.shapes.size()];
+    std::optional<QuerySelectivity> target;
+    if (config.selectivity_control) {
+      target = config.selectivities[i % config.selectivities.size()];
+    }
+    auto one = GenerateOne(config, shape, target, &rng);
+    if (!one.ok()) {
+      workload.skipped.push_back(
+          std::string(QueryShapeName(shape)) + "/" +
+          (target.has_value() ? QuerySelectivityName(*target) : "any") +
+          ": " + one.status().message());
+      continue;
+    }
+    GeneratedQuery gq = std::move(one).ValueOrDie();
+    gq.query.name = "q" + std::to_string(workload.queries.size());
+    workload.queries.push_back(std::move(gq));
+  }
+  if (workload.queries.empty()) {
+    return Status::NotFound(
+        "no queries could be generated; first failure: " +
+        (workload.skipped.empty() ? std::string("?") : workload.skipped[0]));
+  }
+  return workload;
+}
+
+}  // namespace gmark

@@ -1,0 +1,93 @@
+#include "analysis/alpha_lab.h"
+
+#include <gtest/gtest.h>
+
+#include "core/use_cases.h"
+
+namespace gmark {
+namespace {
+
+Query BinaryChain(std::vector<RegularExpression> exprs) {
+  Query q;
+  QueryRule rule;
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    rule.body.push_back(Conjunct{static_cast<VarId>(i),
+                                 static_cast<VarId>(i + 1),
+                                 std::move(exprs[i])});
+  }
+  rule.head = {0, static_cast<VarId>(exprs.size())};
+  q.rules = {rule};
+  return q;
+}
+
+class AlphaLabTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    lab_ = new AlphaLab(AlphaLab::Create(MakeBibConfig(1000, 7),
+                                         {500, 1000, 2000, 4000, 8000})
+                            .ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete lab_;
+    lab_ = nullptr;
+  }
+  static AlphaLab* lab_;
+};
+
+AlphaLab* AlphaLabTest::lab_ = nullptr;
+
+TEST_F(AlphaLabTest, InstancesGrowWithRequestedSizes) {
+  ASSERT_EQ(lab_->graphs().size(), 5u);
+  for (size_t i = 1; i < lab_->graphs().size(); ++i) {
+    EXPECT_GT(lab_->graphs()[i].num_nodes(),
+              lab_->graphs()[i - 1].num_nodes());
+  }
+}
+
+TEST_F(AlphaLabTest, LinearQueryFitsAlphaNearOne) {
+  // authors alone is linear.
+  Query q = BinaryChain({RegularExpression::Atom(Symbol::Fwd(0))});
+  AlphaEstimate est =
+      lab_->Measure(q, ResourceBudget::Limited(120.0, 100000000))
+          .ValueOrDie();
+  EXPECT_NEAR(est.alpha, 1.0, 0.25);
+  EXPECT_GT(est.beta, 0.0);
+  EXPECT_EQ(est.counts.size(), 5u);
+}
+
+TEST_F(AlphaLabTest, ConstantQueryFitsAlphaNearZero) {
+  // heldIn^- . heldIn loops through the fixed city type.
+  RegularExpression loop;
+  loop.disjuncts = {{Symbol::Inv(2), Symbol::Fwd(2)}};
+  Query q = BinaryChain({loop});
+  AlphaEstimate est =
+      lab_->Measure(q, ResourceBudget::Limited(120.0, 100000000))
+          .ValueOrDie();
+  EXPECT_LT(est.alpha, 0.5);
+}
+
+TEST_F(AlphaLabTest, QuadraticQueryFitsAlphaAboveLinear) {
+  // authors^- . authors: papers sharing an author (cross class).
+  RegularExpression shared;
+  shared.disjuncts = {{Symbol::Inv(0), Symbol::Fwd(0)}};
+  Query q = BinaryChain({shared});
+  AlphaEstimate est =
+      lab_->Measure(q, ResourceBudget::Limited(120.0, 100000000))
+          .ValueOrDie();
+  EXPECT_GT(est.alpha, 1.2);
+}
+
+TEST_F(AlphaLabTest, BudgetFailurePropagates) {
+  Query q = BinaryChain({RegularExpression::Atom(Symbol::Fwd(0))});
+  auto est = lab_->Measure(q, ResourceBudget::Limited(120.0, 5));
+  EXPECT_TRUE(est.status().IsResourceExhausted());
+}
+
+TEST(AlphaLabCreateTest, PropagatesInvalidConfig) {
+  // The lab overrides num_nodes per requested size, so the invalid
+  // input is a non-positive size in the sweep.
+  EXPECT_FALSE(AlphaLab::Create(MakeBibConfig(1000), {0}).ok());
+}
+
+}  // namespace
+}  // namespace gmark

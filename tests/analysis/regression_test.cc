@@ -1,0 +1,70 @@
+#include "analysis/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gmark {
+namespace {
+
+TEST(RegressionTest, ExactLine) {
+  auto fit = FitLinear({1, 2, 3, 4}, {3, 5, 7, 9}).ValueOrDie();
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(RegressionTest, NoisyLineStillCloseAndR2Drops) {
+  auto fit =
+      FitLinear({1, 2, 3, 4, 5}, {2.1, 3.9, 6.2, 7.8, 10.1}).ValueOrDie();
+  EXPECT_NEAR(fit.slope, 2.0, 0.1);
+  EXPECT_LT(fit.r_squared, 1.0);
+  EXPECT_GT(fit.r_squared, 0.98);
+}
+
+TEST(RegressionTest, ErrorCases) {
+  EXPECT_FALSE(FitLinear({1}, {2}).ok());
+  EXPECT_FALSE(FitLinear({1, 2}, {1}).ok());
+  EXPECT_FALSE(FitLinear({3, 3, 3}, {1, 2, 3}).ok());
+}
+
+TEST(RegressionTest, PowerLawRecoversExponent) {
+  // counts = 0.5 * n^2.
+  std::vector<int64_t> sizes{1000, 2000, 4000, 8000};
+  std::vector<uint64_t> counts;
+  for (int64_t n : sizes) {
+    counts.push_back(static_cast<uint64_t>(
+        0.5 * static_cast<double>(n) * static_cast<double>(n)));
+  }
+  auto fit = FitPowerLaw(sizes, counts).ValueOrDie();
+  EXPECT_NEAR(fit.slope, 2.0, 0.01);
+  EXPECT_NEAR(std::exp(fit.intercept), 0.5, 0.01);
+}
+
+TEST(RegressionTest, PowerLawConstantCounts) {
+  std::vector<int64_t> sizes{1000, 2000, 4000, 8000};
+  std::vector<uint64_t> counts{100, 100, 100, 100};
+  auto fit = FitPowerLaw(sizes, counts).ValueOrDie();
+  EXPECT_NEAR(fit.slope, 0.0, 1e-9);
+}
+
+TEST(RegressionTest, PowerLawClampsZeroCounts) {
+  std::vector<int64_t> sizes{1000, 2000, 4000};
+  std::vector<uint64_t> counts{0, 0, 0};
+  auto fit = FitPowerLaw(sizes, counts).ValueOrDie();
+  EXPECT_NEAR(fit.slope, 0.0, 1e-9);  // log(1) everywhere.
+}
+
+TEST(RegressionTest, SummarizeMeanAndStd) {
+  MeanStd ms = Summarize({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_DOUBLE_EQ(ms.mean, 5.0);
+  EXPECT_DOUBLE_EQ(ms.stddev, 2.0);
+  MeanStd empty = Summarize({});
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+  MeanStd single = Summarize({3.5});
+  EXPECT_DOUBLE_EQ(single.mean, 3.5);
+  EXPECT_DOUBLE_EQ(single.stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace gmark

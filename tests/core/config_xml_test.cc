@@ -1,0 +1,117 @@
+#include "core/config_xml.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/use_cases.h"
+
+namespace gmark {
+namespace {
+
+class ConfigXmlRoundTripTest : public ::testing::TestWithParam<UseCase> {};
+
+TEST_P(ConfigXmlRoundTripTest, SerializeParseSerializeIsStable) {
+  GraphConfiguration original = MakeUseCase(GetParam(), 12345, 77);
+  std::string xml = GraphConfigToXml(original);
+  auto parsed = ParseGraphConfigXml(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->name, original.name);
+  EXPECT_EQ(parsed->num_nodes, original.num_nodes);
+  EXPECT_EQ(parsed->seed, original.seed);
+  EXPECT_EQ(parsed->schema.type_count(), original.schema.type_count());
+  EXPECT_EQ(parsed->schema.predicate_count(),
+            original.schema.predicate_count());
+  EXPECT_EQ(parsed->schema.edge_constraints().size(),
+            original.schema.edge_constraints().size());
+  // The second serialization must be byte-identical (fixed point).
+  EXPECT_EQ(GraphConfigToXml(*parsed), xml);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ConfigXmlRoundTripTest,
+                         ::testing::ValuesIn(AllUseCases()),
+                         [](const auto& info) {
+                           return UseCaseName(info.param);
+                         });
+
+TEST(ConfigXmlTest, ParsesHandwrittenConfig) {
+  const char* xml = R"(<gmark>
+    <graph name="tiny" nodes="100" seed="9">
+      <types>
+        <type name="a" proportion="0.8"/>
+        <type name="b" fixed="5"/>
+      </types>
+      <predicates>
+        <predicate name="p" proportion="0.5"/>
+      </predicates>
+      <constraints>
+        <constraint source="a" predicate="p" target="b">
+          <inDistribution type="zipfian" s="2.5"/>
+          <outDistribution type="uniform" min="1" max="3"/>
+        </constraint>
+      </constraints>
+    </graph>
+  </gmark>)";
+  auto config = ParseGraphConfigXml(xml);
+  ASSERT_TRUE(config.ok()) << config.status();
+  EXPECT_EQ(config->name, "tiny");
+  EXPECT_EQ(config->num_nodes, 100);
+  EXPECT_EQ(config->seed, 9u);
+  const EdgeConstraint& c = config->schema.edge_constraints()[0];
+  EXPECT_EQ(c.in_dist, DistributionSpec::Zipfian(2.5));
+  EXPECT_EQ(c.out_dist, DistributionSpec::Uniform(1, 3));
+}
+
+TEST(ConfigXmlTest, ImplicitPredicateDeclaration) {
+  const char* xml = R"(<graph nodes="10">
+    <types><type name="a" proportion="1.0"/></types>
+    <constraints>
+      <constraint source="a" predicate="knows" target="a">
+        <outDistribution type="uniform" min="1" max="1"/>
+      </constraint>
+    </constraints>
+  </graph>)";
+  auto config = ParseGraphConfigXml(xml);
+  ASSERT_TRUE(config.ok()) << config.status();
+  EXPECT_TRUE(config->schema.PredicateIdOf("knows").ok());
+}
+
+TEST(ConfigXmlTest, MissingNodesAttributeFails) {
+  EXPECT_FALSE(
+      ParseGraphConfigXml("<graph><types><type name=\"a\" proportion=\"1\"/>"
+                          "</types></graph>")
+          .ok());
+}
+
+TEST(ConfigXmlTest, MissingTypesSectionFails) {
+  EXPECT_FALSE(ParseGraphConfigXml("<graph nodes=\"5\"/>").ok());
+}
+
+TEST(ConfigXmlTest, TypeWithoutOccurrenceFails) {
+  EXPECT_FALSE(ParseGraphConfigXml(
+                   "<graph nodes=\"5\"><types><type name=\"a\"/></types>"
+                   "</graph>")
+                   .ok());
+}
+
+TEST(ConfigXmlTest, WrongRootFails) {
+  EXPECT_FALSE(ParseGraphConfigXml("<nonsense/>").ok());
+}
+
+TEST(ConfigXmlTest, FileRoundTrip) {
+  GraphConfiguration config = MakeSpConfig(777, 5);
+  std::string path = ::testing::TempDir() + "/gmark_config_test.xml";
+  ASSERT_TRUE(SaveGraphConfig(config, path).ok());
+  auto loaded = LoadGraphConfig(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_nodes, 777);
+  EXPECT_EQ(loaded->schema.type_count(), config.schema.type_count());
+  std::remove(path.c_str());
+}
+
+TEST(ConfigXmlTest, LoadMissingFileFails) {
+  EXPECT_TRUE(LoadGraphConfig("/nonexistent/x.xml").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace gmark

@@ -1,0 +1,81 @@
+#include "core/consistency.h"
+
+#include <gtest/gtest.h>
+
+#include "core/use_cases.h"
+
+namespace gmark {
+namespace {
+
+TEST(ConsistencyTest, ReportsOneFindingPerConstraint) {
+  GraphConfiguration config = MakeBibConfig(10000);
+  auto report = CheckConsistency(config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->findings.size(),
+            config.schema.edge_constraints().size());
+}
+
+TEST(ConsistencyTest, FlagsAGenuineMismatch) {
+  GraphConfiguration config;
+  config.num_nodes = 1000;
+  ASSERT_TRUE(
+      config.schema.AddType("a", OccurrenceConstraint::Proportion(0.5)).ok());
+  ASSERT_TRUE(
+      config.schema.AddType("b", OccurrenceConstraint::Proportion(0.5)).ok());
+  ASSERT_TRUE(config.schema.AddPredicate("p").ok());
+  // Out side implies 500*10 = 5000 edges, in side 500*1 = 500: a 90% gap.
+  ASSERT_TRUE(config.schema
+                  .AddEdgeConstraintByName("a", "p", "b",
+                                           DistributionSpec::Uniform(1, 1),
+                                           DistributionSpec::Uniform(10, 10))
+                  .ok());
+  auto report = CheckConsistency(config, 0.25);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->all_consistent);
+  ASSERT_EQ(report->findings.size(), 1u);
+  EXPECT_FALSE(report->findings[0].consistent);
+  EXPECT_NEAR(report->findings[0].relative_gap, 0.9, 0.01);
+  EXPECT_NE(report->ToString().find("WARN"), std::string::npos);
+}
+
+TEST(ConsistencyTest, OneSidedConstraintIsAlwaysConsistent) {
+  GraphConfiguration config;
+  config.num_nodes = 1000;
+  ASSERT_TRUE(
+      config.schema.AddType("a", OccurrenceConstraint::Proportion(1.0)).ok());
+  ASSERT_TRUE(config.schema.AddPredicate("p").ok());
+  ASSERT_TRUE(config.schema
+                  .AddEdgeConstraintByName(
+                      "a", "p", "a", DistributionSpec::NonSpecified(),
+                      DistributionSpec::Uniform(50, 50))
+                  .ok());
+  auto report = CheckConsistency(config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->all_consistent);
+  EXPECT_DOUBLE_EQ(report->findings[0].relative_gap, 0.0);
+}
+
+TEST(ConsistencyTest, ToleranceIsRespected) {
+  GraphConfiguration config;
+  config.num_nodes = 1000;
+  ASSERT_TRUE(
+      config.schema.AddType("a", OccurrenceConstraint::Proportion(1.0)).ok());
+  ASSERT_TRUE(config.schema.AddPredicate("p").ok());
+  // 1000*2 vs 1000*3: 33% gap.
+  ASSERT_TRUE(config.schema
+                  .AddEdgeConstraintByName("a", "p", "a",
+                                           DistributionSpec::Uniform(2, 2),
+                                           DistributionSpec::Uniform(3, 3))
+                  .ok());
+  EXPECT_FALSE(CheckConsistency(config, 0.25)->all_consistent);
+  EXPECT_TRUE(CheckConsistency(config, 0.50)->all_consistent);
+}
+
+TEST(ConsistencyTest, InvalidConfigurationPropagatesError) {
+  GraphConfiguration config;
+  config.num_nodes = 0;
+  EXPECT_FALSE(CheckConsistency(config).ok());
+}
+
+}  // namespace
+}  // namespace gmark

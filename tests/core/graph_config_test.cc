@@ -1,0 +1,81 @@
+#include "core/graph_config.h"
+
+#include <gtest/gtest.h>
+
+#include "core/use_cases.h"
+
+namespace gmark {
+namespace {
+
+TEST(NodeLayoutTest, BibCountsMatchFig2) {
+  GraphConfiguration config = MakeBibConfig(10000);
+  NodeLayout layout = NodeLayout::Create(config).ValueOrDie();
+  // 50% researchers, 30% papers, 10% journals, 10% conferences, 100
+  // cities (fixed).
+  EXPECT_EQ(layout.CountOf(0), 5000);
+  EXPECT_EQ(layout.CountOf(1), 3000);
+  EXPECT_EQ(layout.CountOf(2), 1000);
+  EXPECT_EQ(layout.CountOf(3), 1000);
+  EXPECT_EQ(layout.CountOf(4), 100);
+  EXPECT_EQ(layout.total_nodes(), 10100);
+}
+
+TEST(NodeLayoutTest, FixedCountsStayFixedAcrossSizes) {
+  for (int64_t n : {1000, 10000, 100000}) {
+    NodeLayout layout =
+        NodeLayout::Create(MakeBibConfig(n)).ValueOrDie();
+    EXPECT_EQ(layout.CountOf(4), 100) << "n=" << n;
+  }
+}
+
+TEST(NodeLayoutTest, OffsetsAreContiguous) {
+  NodeLayout layout = NodeLayout::Create(MakeBibConfig(5000)).ValueOrDie();
+  NodeId expected = 0;
+  for (size_t t = 0; t < layout.type_count(); ++t) {
+    EXPECT_EQ(layout.OffsetOf(static_cast<TypeId>(t)), expected);
+    expected += static_cast<NodeId>(layout.CountOf(static_cast<TypeId>(t)));
+  }
+  EXPECT_EQ(expected, static_cast<NodeId>(layout.total_nodes()));
+}
+
+class TypeOfTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(TypeOfTest, TypeOfInvertsGlobalId) {
+  NodeLayout layout =
+      NodeLayout::Create(MakeBibConfig(GetParam())).ValueOrDie();
+  for (size_t t = 0; t < layout.type_count(); ++t) {
+    TypeId type = static_cast<TypeId>(t);
+    if (layout.CountOf(type) == 0) continue;
+    EXPECT_EQ(layout.TypeOf(layout.GlobalId(type, 0)), type);
+    EXPECT_EQ(layout.TypeOf(layout.GlobalId(type, layout.CountOf(type) - 1)),
+              type);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TypeOfTest,
+                         ::testing::Values(500, 2000, 10000, 50000));
+
+TEST(NodeLayoutTest, RejectsNonPositiveSize) {
+  GraphConfiguration config = MakeBibConfig(0);
+  EXPECT_FALSE(NodeLayout::Create(config).ok());
+  config.num_nodes = -5;
+  EXPECT_FALSE(NodeLayout::Create(config).ok());
+}
+
+TEST(NodeLayoutTest, RejectsEmptyResult) {
+  GraphConfiguration config;
+  config.num_nodes = 10;
+  ASSERT_TRUE(
+      config.schema.AddType("t", OccurrenceConstraint::Fixed(0)).ok());
+  EXPECT_FALSE(NodeLayout::Create(config).ok());
+}
+
+TEST(GraphConfigurationTest, ValidateDelegatesToSchema) {
+  GraphConfiguration config = MakeBibConfig(100);
+  EXPECT_TRUE(config.Validate().ok());
+  config.num_nodes = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+}  // namespace
+}  // namespace gmark

@@ -1,0 +1,134 @@
+#include "core/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace gmark {
+namespace {
+
+GraphSchema TwoTypeSchema() {
+  GraphSchema s;
+  EXPECT_TRUE(s.AddType("a", OccurrenceConstraint::Proportion(0.6)).ok());
+  EXPECT_TRUE(s.AddType("b", OccurrenceConstraint::Fixed(10)).ok());
+  EXPECT_TRUE(s.AddPredicate("p").ok());
+  return s;
+}
+
+TEST(SchemaTest, AddAndLookupTypes) {
+  GraphSchema s = TwoTypeSchema();
+  EXPECT_EQ(s.type_count(), 2u);
+  EXPECT_EQ(s.TypeIdOf("a").ValueOrDie(), 0u);
+  EXPECT_EQ(s.TypeIdOf("b").ValueOrDie(), 1u);
+  EXPECT_EQ(s.TypeName(1), "b");
+  EXPECT_FALSE(s.TypeIdOf("zzz").ok());
+  EXPECT_FALSE(s.IsFixedType(0));
+  EXPECT_TRUE(s.IsFixedType(1));
+}
+
+TEST(SchemaTest, DuplicateTypeRejected) {
+  GraphSchema s = TwoTypeSchema();
+  auto r = s.AddType("a", OccurrenceConstraint::Fixed(1));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, EmptyAndInvalidTypeNamesRejected) {
+  GraphSchema s;
+  EXPECT_FALSE(s.AddType("", OccurrenceConstraint::Fixed(1)).ok());
+  EXPECT_FALSE(s.AddType("x", OccurrenceConstraint::Proportion(1.5)).ok());
+  EXPECT_FALSE(s.AddType("x", OccurrenceConstraint::Proportion(-0.1)).ok());
+  EXPECT_FALSE(s.AddType("x", OccurrenceConstraint::Fixed(-3)).ok());
+}
+
+TEST(SchemaTest, DuplicatePredicateRejected) {
+  GraphSchema s = TwoTypeSchema();
+  EXPECT_FALSE(s.AddPredicate("p").ok());
+  EXPECT_EQ(s.PredicateIdOf("p").ValueOrDie(), 0u);
+  EXPECT_FALSE(s.PredicateIdOf("q").ok());
+}
+
+TEST(SchemaTest, EdgeConstraintByNameAndDuplicate) {
+  GraphSchema s = TwoTypeSchema();
+  EXPECT_TRUE(s.AddEdgeConstraintByName("a", "p", "b",
+                                        DistributionSpec::Gaussian(2, 1),
+                                        DistributionSpec::Uniform(1, 2))
+                  .ok());
+  EXPECT_EQ(s.edge_constraints().size(), 1u);
+  // Same triple again is rejected.
+  Status dup = s.AddEdgeConstraintByName("a", "p", "b",
+                                         DistributionSpec::NonSpecified(),
+                                         DistributionSpec::Uniform(1, 1));
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+  // Same predicate with a different type pair is fine.
+  EXPECT_TRUE(s.AddEdgeConstraintByName("b", "p", "a",
+                                        DistributionSpec::NonSpecified(),
+                                        DistributionSpec::Uniform(1, 1))
+                  .ok());
+}
+
+TEST(SchemaTest, EdgeConstraintUnknownNamesRejected) {
+  GraphSchema s = TwoTypeSchema();
+  EXPECT_FALSE(s.AddEdgeConstraintByName("a", "p", "nope",
+                                         DistributionSpec::NonSpecified(),
+                                         DistributionSpec::Uniform(1, 1))
+                   .ok());
+  EXPECT_FALSE(s.AddEdgeConstraintByName("a", "nope", "b",
+                                         DistributionSpec::NonSpecified(),
+                                         DistributionSpec::Uniform(1, 1))
+                   .ok());
+}
+
+TEST(SchemaTest, EdgeConstraintInvalidDistributionRejected) {
+  GraphSchema s = TwoTypeSchema();
+  EXPECT_FALSE(s.AddEdgeConstraintByName("a", "p", "b",
+                                         DistributionSpec::Uniform(5, 2),
+                                         DistributionSpec::Uniform(1, 1))
+                   .ok());
+}
+
+TEST(SchemaTest, PaperMacros) {
+  GraphSchema s = TwoTypeSchema();
+  EXPECT_TRUE(s.AddEdgeOne("a", "p", "b").ok());
+  const EdgeConstraint& c = s.edge_constraints()[0];
+  EXPECT_EQ(c.out_dist, DistributionSpec::Uniform(1, 1));
+  EXPECT_FALSE(c.in_dist.specified());
+}
+
+TEST(SchemaTest, ValidateRejectsOverfullProportions) {
+  GraphSchema s;
+  ASSERT_TRUE(s.AddType("a", OccurrenceConstraint::Proportion(0.7)).ok());
+  ASSERT_TRUE(s.AddType("b", OccurrenceConstraint::Proportion(0.7)).ok());
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsUndeterminedEdgeCount) {
+  GraphSchema s = TwoTypeSchema();
+  // p has no occurrence constraint and both distributions non-specified.
+  ASSERT_TRUE(s.AddEdgeConstraintByName("a", "p", "b",
+                                        DistributionSpec::NonSpecified(),
+                                        DistributionSpec::NonSpecified())
+                  .ok());
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, ValidateAcceptsOccurrenceBackedNonSpecified) {
+  GraphSchema s = TwoTypeSchema();
+  ASSERT_TRUE(s.AddPredicate("q", OccurrenceConstraint::Proportion(0.2)).ok());
+  ASSERT_TRUE(s.AddEdgeConstraintByName("a", "q", "b",
+                                        DistributionSpec::NonSpecified(),
+                                        DistributionSpec::NonSpecified())
+                  .ok());
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsEmptySchema) {
+  GraphSchema s;
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(OccurrenceConstraintTest, ToStringForms) {
+  EXPECT_EQ(OccurrenceConstraint::Fixed(100).ToString(), "fixed(100)");
+  EXPECT_EQ(OccurrenceConstraint::Proportion(0.5).ToString(), "50%");
+}
+
+}  // namespace
+}  // namespace gmark

@@ -1,0 +1,107 @@
+#include "core/use_cases.h"
+
+#include <gtest/gtest.h>
+
+#include "core/consistency.h"
+
+namespace gmark {
+namespace {
+
+class UseCaseTest : public ::testing::TestWithParam<UseCase> {};
+
+TEST_P(UseCaseTest, ConfigurationValidates) {
+  GraphConfiguration config = MakeUseCase(GetParam(), 10000);
+  EXPECT_TRUE(config.Validate().ok()) << UseCaseName(GetParam());
+  EXPECT_GE(config.schema.type_count(), 5u);
+  EXPECT_GE(config.schema.predicate_count(), 4u);
+  EXPECT_GE(config.schema.edge_constraints().size(), 4u);
+}
+
+TEST_P(UseCaseTest, HasAtLeastOneFixedAndOneProportionalType) {
+  // Every use case must admit constant queries (needs a fixed type) and
+  // growing queries (needs proportional types).
+  GraphConfiguration config = MakeUseCase(GetParam(), 10000);
+  int fixed = 0, proportional = 0;
+  for (const auto& t : config.schema.types()) {
+    (t.occurrence.is_fixed ? fixed : proportional)++;
+  }
+  EXPECT_GE(fixed, 1) << UseCaseName(GetParam());
+  EXPECT_GE(proportional, 2) << UseCaseName(GetParam());
+}
+
+TEST_P(UseCaseTest, HasPowerLawPredicate) {
+  // Quadratic closures need at least one Zipfian distribution (§5.2.1).
+  GraphConfiguration config = MakeUseCase(GetParam(), 10000);
+  bool zipf = false;
+  for (const auto& c : config.schema.edge_constraints()) {
+    zipf = zipf || c.in_dist.IsZipfian() || c.out_dist.IsZipfian();
+  }
+  EXPECT_TRUE(zipf) << UseCaseName(GetParam());
+}
+
+TEST_P(UseCaseTest, ConsistencyReportHasNoHardWarnings) {
+  GraphConfiguration config = MakeUseCase(GetParam(), 20000);
+  auto report = CheckConsistency(config, /*tolerance=*/0.35);
+  ASSERT_TRUE(report.ok());
+  for (const auto& f : report->findings) {
+    EXPECT_TRUE(f.consistent) << UseCaseName(GetParam()) << ": "
+                              << f.description;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, UseCaseTest,
+                         ::testing::ValuesIn(AllUseCases()),
+                         [](const auto& info) {
+                           return UseCaseName(info.param);
+                         });
+
+TEST(UseCaseTest, BibMatchesPaperFigure2) {
+  GraphConfiguration config = MakeBibConfig(1000);
+  const GraphSchema& s = config.schema;
+  EXPECT_EQ(s.type_count(), 5u);
+  EXPECT_EQ(s.predicate_count(), 4u);
+  EXPECT_TRUE(s.TypeIdOf("researcher").ok());
+  EXPECT_TRUE(s.TypeIdOf("city").ok());
+  EXPECT_TRUE(s.PredicateIdOf("authors").ok());
+  EXPECT_TRUE(s.PredicateIdOf("extendedTo").ok());
+  // authors: Gaussian in, Zipfian out (Fig. 2c, first row).
+  const EdgeConstraint& authors = s.edge_constraints()[0];
+  EXPECT_EQ(authors.in_dist.type, DistributionType::kGaussian);
+  EXPECT_EQ(authors.out_dist.type, DistributionType::kZipfian);
+  // city is the fixed type.
+  EXPECT_TRUE(s.IsFixedType(s.TypeIdOf("city").ValueOrDie()));
+}
+
+TEST(UseCaseTest, WdIsDenserThanBib) {
+  // §6.2: WatDiv instances are far denser than Bib at equal node count.
+  GraphConfiguration bib = MakeBibConfig(10000);
+  GraphConfiguration wd = MakeWdConfig(10000);
+  auto expected_edges = [](const GraphConfiguration& config) {
+    double total = 0;
+    NodeLayout layout = NodeLayout::Create(config).ValueOrDie();
+    for (const auto& c : config.schema.edge_constraints()) {
+      double out = c.out_dist.specified()
+                       ? static_cast<double>(layout.CountOf(c.source_type)) *
+                             c.out_dist.Mean(layout.CountOf(c.target_type))
+                       : 1e18;
+      double in = c.in_dist.specified()
+                      ? static_cast<double>(layout.CountOf(c.target_type)) *
+                            c.in_dist.Mean(layout.CountOf(c.source_type))
+                      : 1e18;
+      total += std::min(out, in);
+    }
+    return total;
+  };
+  EXPECT_GT(expected_edges(wd), 5.0 * expected_edges(bib));
+}
+
+TEST(UseCaseTest, NamesRoundTrip) {
+  EXPECT_STREQ(UseCaseName(UseCase::kBib), "Bib");
+  EXPECT_STREQ(UseCaseName(UseCase::kLsn), "LSN");
+  EXPECT_STREQ(UseCaseName(UseCase::kSp), "SP");
+  EXPECT_STREQ(UseCaseName(UseCase::kWd), "WD");
+  EXPECT_EQ(AllUseCases().size(), 4u);
+}
+
+}  // namespace
+}  // namespace gmark

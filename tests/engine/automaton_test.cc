@@ -1,0 +1,101 @@
+#include "engine/automaton.h"
+
+#include <gtest/gtest.h>
+
+namespace gmark {
+namespace {
+
+TEST(AutomatonTest, SingleAtom) {
+  Nfa nfa = Nfa::FromRegex(RegularExpression::Atom(Symbol::Fwd(3)))
+                .ValueOrDie();
+  EXPECT_EQ(nfa.state_count(), 2u);
+  EXPECT_NE(nfa.start(), nfa.accept());
+  EXPECT_FALSE(nfa.AcceptsEpsilon());
+  auto trans = nfa.TransitionsFrom(nfa.start());
+  ASSERT_EQ(trans.size(), 1u);
+  EXPECT_EQ(trans[0].symbol, Symbol::Fwd(3));
+  EXPECT_EQ(trans[0].to, nfa.accept());
+}
+
+TEST(AutomatonTest, ConcatenationPath) {
+  Nfa nfa = Nfa::FromRegex(
+                RegularExpression::Path({Symbol::Fwd(0), Symbol::Inv(1),
+                                         Symbol::Fwd(2)}))
+                .ValueOrDie();
+  // start -> s1 -> s2 -> accept: 4 states, 3 transitions.
+  EXPECT_EQ(nfa.state_count(), 4u);
+  EXPECT_EQ(nfa.transition_count(), 3u);
+}
+
+TEST(AutomatonTest, DisjunctionSharesEndpoints) {
+  RegularExpression expr;
+  expr.disjuncts = {{Symbol::Fwd(0), Symbol::Fwd(1)}, {Symbol::Fwd(2)}};
+  Nfa nfa = Nfa::FromRegex(expr).ValueOrDie();
+  // start, accept, one intermediate: both disjuncts run start->accept.
+  EXPECT_EQ(nfa.state_count(), 3u);
+  EXPECT_EQ(nfa.transition_count(), 3u);
+  // The single-symbol disjunct goes directly to accept.
+  bool direct = false;
+  for (const auto& t : nfa.TransitionsFrom(nfa.start())) {
+    if (t.symbol == Symbol::Fwd(2) && t.to == nfa.accept()) direct = true;
+  }
+  EXPECT_TRUE(direct);
+}
+
+TEST(AutomatonTest, StarLoopsOnStart) {
+  RegularExpression expr;
+  expr.disjuncts = {{Symbol::Fwd(0), Symbol::Fwd(1)}};
+  expr.star = true;
+  Nfa nfa = Nfa::FromRegex(expr).ValueOrDie();
+  EXPECT_EQ(nfa.start(), nfa.accept());
+  EXPECT_TRUE(nfa.AcceptsEpsilon());
+  EXPECT_EQ(nfa.state_count(), 2u);  // loop state + intermediate
+}
+
+TEST(AutomatonTest, ChainConcatenatesConjuncts) {
+  RegularExpression star;
+  star.disjuncts = {{Symbol::Fwd(1)}};
+  star.star = true;
+  std::vector<Conjunct> chain{
+      Conjunct{0, 1, RegularExpression::Atom(Symbol::Fwd(0))},
+      Conjunct{1, 2, star},
+      Conjunct{2, 3, RegularExpression::Atom(Symbol::Fwd(2))}};
+  Nfa nfa = Nfa::FromConjunctChain(chain).ValueOrDie();
+  EXPECT_FALSE(nfa.AcceptsEpsilon());
+  // states: s0, s1 (with loop), s2. Star adds no extra state for a
+  // single-symbol loop.
+  EXPECT_EQ(nfa.state_count(), 3u);
+  EXPECT_EQ(nfa.transition_count(), 3u);
+}
+
+TEST(AutomatonTest, AllStarChainAcceptsEpsilon) {
+  RegularExpression star;
+  star.disjuncts = {{Symbol::Fwd(0)}};
+  star.star = true;
+  std::vector<Conjunct> chain{Conjunct{0, 1, star}, Conjunct{1, 2, star}};
+  Nfa nfa = Nfa::FromConjunctChain(chain).ValueOrDie();
+  EXPECT_TRUE(nfa.AcceptsEpsilon());
+}
+
+TEST(AutomatonTest, EmptyDisjunctListRejected) {
+  RegularExpression expr;
+  EXPECT_FALSE(Nfa::FromRegex(expr).ok());
+}
+
+TEST(AutomatonTest, EpsilonDisjunctOutsideStarRejected) {
+  RegularExpression expr;
+  expr.disjuncts = {{}};
+  EXPECT_FALSE(Nfa::FromRegex(expr).ok());
+}
+
+TEST(AutomatonTest, EpsilonDisjunctInsideStarAccepted) {
+  RegularExpression expr;
+  expr.disjuncts = {{}, {Symbol::Fwd(0)}};
+  expr.star = true;
+  auto nfa = Nfa::FromRegex(expr);
+  ASSERT_TRUE(nfa.ok());
+  EXPECT_TRUE(nfa->AcceptsEpsilon());
+}
+
+}  // namespace
+}  // namespace gmark

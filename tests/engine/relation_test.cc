@@ -1,0 +1,136 @@
+#include "engine/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace gmark {
+namespace {
+
+VarRelation MakeRelation(std::vector<VarId> vars,
+                         std::vector<std::vector<NodeId>> rows) {
+  VarRelation rel(std::move(vars));
+  for (const auto& row : rows) rel.AppendRow(row);
+  return rel;
+}
+
+TEST(RelationTest, FromPairsBinary) {
+  VarRelation rel = VarRelation::FromPairs(0, 1, {{1, 2}, {3, 4}});
+  EXPECT_EQ(rel.width(), 2u);
+  EXPECT_EQ(rel.row_count(), 2u);
+  EXPECT_EQ(rel.row(1)[0], 3u);
+  EXPECT_EQ(rel.row(1)[1], 4u);
+}
+
+TEST(RelationTest, FromPairsSelfVariableKeepsReflexiveOnly) {
+  VarRelation rel = VarRelation::FromPairs(0, 0, {{1, 2}, {3, 3}, {4, 4}});
+  EXPECT_EQ(rel.width(), 1u);
+  EXPECT_EQ(rel.row_count(), 2u);
+  EXPECT_EQ(rel.row(0)[0], 3u);
+}
+
+TEST(RelationTest, HashJoinOnSharedVariable) {
+  BudgetTracker budget(ResourceBudget::Unlimited());
+  VarRelation r = MakeRelation({0, 1}, {{1, 2}, {3, 4}, {5, 2}});
+  VarRelation s = MakeRelation({1, 2}, {{2, 7}, {2, 8}, {4, 9}});
+  VarRelation joined = HashJoin(r, s, &budget).ValueOrDie();
+  EXPECT_EQ(joined.vars(), (std::vector<VarId>{0, 1, 2}));
+  // (1,2)x{7,8}, (5,2)x{7,8}, (3,4)x{9}: 5 rows.
+  EXPECT_EQ(joined.row_count(), 5u);
+}
+
+TEST(RelationTest, HashJoinOnTwoSharedVariables) {
+  BudgetTracker budget(ResourceBudget::Unlimited());
+  VarRelation r = MakeRelation({0, 1}, {{1, 2}, {3, 4}});
+  VarRelation s = MakeRelation({0, 1}, {{1, 2}, {3, 9}});
+  VarRelation joined = HashJoin(r, s, &budget).ValueOrDie();
+  EXPECT_EQ(joined.row_count(), 1u);
+  EXPECT_EQ(joined.row(0)[0], 1u);
+}
+
+TEST(RelationTest, HashJoinWithoutSharedVariablesIsCrossProduct) {
+  BudgetTracker budget(ResourceBudget::Unlimited());
+  VarRelation r = MakeRelation({0}, {{1}, {2}});
+  VarRelation s = MakeRelation({1}, {{7}, {8}, {9}});
+  VarRelation joined = HashJoin(r, s, &budget).ValueOrDie();
+  EXPECT_EQ(joined.row_count(), 6u);
+  EXPECT_EQ(joined.width(), 2u);
+}
+
+TEST(RelationTest, HashJoinChargesBudget) {
+  BudgetTracker budget(ResourceBudget::Limited(60.0, 3));
+  VarRelation r = MakeRelation({0}, {{1}, {2}});
+  VarRelation s = MakeRelation({1}, {{7}, {8}, {9}});
+  EXPECT_TRUE(HashJoin(r, s, &budget).status().IsResourceExhausted());
+}
+
+TEST(RelationTest, ProjectDistinct) {
+  BudgetTracker budget(ResourceBudget::Unlimited());
+  VarRelation r = MakeRelation({0, 1}, {{1, 2}, {1, 3}, {1, 2}, {4, 2}});
+  VarRelation p = ProjectDistinct(r, {0}, &budget).ValueOrDie();
+  EXPECT_EQ(p.row_count(), 2u);  // {1, 4}
+  VarRelation p2 = ProjectDistinct(r, {0, 1}, &budget).ValueOrDie();
+  EXPECT_EQ(p2.row_count(), 3u);
+  VarRelation swapped = ProjectDistinct(r, {1, 0}, &budget).ValueOrDie();
+  EXPECT_EQ(swapped.row_count(), 3u);
+  EXPECT_EQ(swapped.row(0)[0], 2u);  // Column order follows `onto`.
+}
+
+TEST(RelationTest, ProjectDistinctOnUnknownVariableFails) {
+  BudgetTracker budget(ResourceBudget::Unlimited());
+  VarRelation r = MakeRelation({0, 1}, {{1, 2}});
+  EXPECT_FALSE(ProjectDistinct(r, {9}, &budget).ok());
+}
+
+TEST(RelationTest, NullaryProjection) {
+  BudgetTracker budget(ResourceBudget::Unlimited());
+  VarRelation nonempty = MakeRelation({0}, {{1}});
+  VarRelation empty = MakeRelation({0}, {});
+  EXPECT_EQ(ProjectDistinct(nonempty, {}, &budget)->row_count(), 1u);
+  EXPECT_EQ(ProjectDistinct(empty, {}, &budget)->row_count(), 0u);
+}
+
+TEST(RelationTest, CountDistinctUnionMergesOverlap) {
+  BudgetTracker budget(ResourceBudget::Unlimited());
+  VarRelation a = MakeRelation({0, 1}, {{1, 2}, {3, 4}});
+  VarRelation b = MakeRelation({0, 1}, {{3, 4}, {5, 6}});
+  EXPECT_EQ(CountDistinctUnion({a, b}, &budget).ValueOrDie(), 3u);
+  EXPECT_EQ(CountDistinctUnion({}, &budget).ValueOrDie(), 0u);
+}
+
+TEST(RelationTest, CountDistinctUnionNullary) {
+  BudgetTracker budget(ResourceBudget::Unlimited());
+  VarRelation t = MakeRelation({0}, {{1}});
+  BudgetTracker b2(ResourceBudget::Unlimited());
+  VarRelation projected = ProjectDistinct(t, {}, &b2).ValueOrDie();
+  EXPECT_EQ(CountDistinctUnion({projected}, &budget).ValueOrDie(), 1u);
+}
+
+TEST(RelationTest, DedupPairsSortsAndUniques) {
+  std::vector<std::pair<NodeId, NodeId>> pairs{{3, 4}, {1, 2}, {3, 4},
+                                               {1, 2}, {0, 0}};
+  DedupPairs(&pairs);
+  EXPECT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0], (std::pair<NodeId, NodeId>{0, 0}));
+  EXPECT_EQ(pairs[2], (std::pair<NodeId, NodeId>{3, 4}));
+}
+
+TEST(BudgetTest, TupleAccounting) {
+  BudgetTracker budget(ResourceBudget::Limited(60.0, 10));
+  EXPECT_TRUE(budget.ChargeTuples(6).ok());
+  EXPECT_EQ(budget.tuples_used(), 6u);
+  budget.ReleaseTuples(4);
+  EXPECT_EQ(budget.tuples_used(), 2u);
+  EXPECT_TRUE(budget.ChargeTuples(8).ok());
+  EXPECT_TRUE(budget.ChargeTuples(1).IsResourceExhausted());
+  budget.ReleaseTuples(1000);  // Saturates at zero.
+  EXPECT_EQ(budget.tuples_used(), 0u);
+}
+
+TEST(BudgetTest, TimeoutFires) {
+  BudgetTracker budget(ResourceBudget::Limited(0.0, 100));
+  EXPECT_TRUE(budget.CheckTime().IsResourceExhausted());
+  BudgetTracker relaxed(ResourceBudget::Unlimited());
+  EXPECT_TRUE(relaxed.CheckTime().ok());
+}
+
+}  // namespace
+}  // namespace gmark

@@ -1,0 +1,96 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/use_cases.h"
+#include "graph/generator.h"
+
+namespace gmark {
+namespace {
+
+TEST(GraphIoTest, NTriplesSinkFormat) {
+  GraphConfiguration config = MakeBibConfig(1000);
+  std::ostringstream out;
+  NTriplesSink sink(&out, &config.schema);
+  sink.Append(3, 0, 7);
+  EXPECT_EQ(out.str(),
+            "<http://gmark/n3> <http://gmark/p/authors> <http://gmark/n7> "
+            ".\n");
+  EXPECT_EQ(sink.count(), 1u);
+}
+
+TEST(GraphIoTest, CsvSinkFormat) {
+  GraphConfiguration config = MakeBibConfig(1000);
+  std::ostringstream out;
+  CsvSink sink(&out, &config.schema);
+  sink.Append(1, 1, 2);
+  EXPECT_EQ(out.str(), "source,predicate,target\n1,publishedIn,2\n");
+}
+
+TEST(GraphIoTest, NTriplesRoundTripPreservesEdges) {
+  GraphConfiguration config = MakeBibConfig(500, 3);
+  Graph g = GenerateGraph(config).ValueOrDie();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteNTriples(g, config.schema, &out).ok());
+  std::istringstream in(out.str());
+  auto edges = ReadNTriples(&in, config.schema);
+  ASSERT_TRUE(edges.ok()) << edges.status();
+  EXPECT_EQ(edges->size(), g.num_edges());
+  // Rebuild and compare per-predicate counts.
+  Graph g2 = Graph::Build(g.layout(), config.schema.predicate_count(),
+                          std::move(*edges))
+                 .ValueOrDie();
+  for (PredicateId p = 0; p < g.predicate_count(); ++p) {
+    EXPECT_EQ(g.EdgeCount(p), g2.EdgeCount(p));
+  }
+}
+
+TEST(GraphIoTest, TypeTriplesAreWrittenAndSkippedOnRead) {
+  GraphConfiguration config = MakeBibConfig(500, 3);
+  Graph g = GenerateGraph(config).ValueOrDie();
+  std::ostringstream out;
+  ASSERT_TRUE(
+      WriteNTriples(g, config.schema, &out, /*include_node_types=*/true)
+          .ok());
+  EXPECT_NE(out.str().find("<http://gmark/type>"), std::string::npos);
+  EXPECT_NE(out.str().find("\"researcher\""), std::string::npos);
+  std::istringstream in(out.str());
+  auto edges = ReadNTriples(&in, config.schema);
+  ASSERT_TRUE(edges.ok()) << edges.status();
+  EXPECT_EQ(edges->size(), g.num_edges());
+}
+
+TEST(GraphIoTest, ReadSkipsCommentsAndBlankLines) {
+  GraphConfiguration config = MakeBibConfig(100);
+  std::istringstream in(
+      "# comment\n\n"
+      "<http://gmark/n1> <http://gmark/p/authors> <http://gmark/n2> .\n");
+  auto edges = ReadNTriples(&in, config.schema);
+  ASSERT_TRUE(edges.ok());
+  ASSERT_EQ(edges->size(), 1u);
+  EXPECT_EQ((*edges)[0], (Edge{1, 0, 2}));
+}
+
+TEST(GraphIoTest, ReadRejectsMalformedLines) {
+  GraphConfiguration config = MakeBibConfig(100);
+  {
+    std::istringstream in("<http://gmark/n1> <http://gmark/p/authors>\n");
+    EXPECT_FALSE(ReadNTriples(&in, config.schema).ok());
+  }
+  {
+    std::istringstream in(
+        "<http://gmark/n1> <http://gmark/p/unknownPred> <http://gmark/n2> "
+        ".\n");
+    EXPECT_FALSE(ReadNTriples(&in, config.schema).ok());
+  }
+  {
+    std::istringstream in(
+        "<bad> <http://gmark/p/authors> <http://gmark/n2> .\n");
+    EXPECT_FALSE(ReadNTriples(&in, config.schema).ok());
+  }
+}
+
+}  // namespace
+}  // namespace gmark

@@ -1,0 +1,68 @@
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.h"
+
+namespace gmark {
+namespace {
+
+GraphConfiguration HandConfig() {
+  GraphConfiguration config;
+  config.num_nodes = 5;
+  EXPECT_TRUE(
+      config.schema.AddType("t", OccurrenceConstraint::Fixed(5)).ok());
+  EXPECT_TRUE(config.schema.AddPredicate("p").ok());
+  EXPECT_TRUE(config.schema.AddPredicate("q").ok());
+  return config;
+}
+
+TEST(StatsTest, HandComputedDegrees) {
+  GraphConfiguration config = HandConfig();
+  // p: 0->1, 0->2, 0->3, 1->2 ; q: 4->0
+  std::vector<Edge> edges{{0, 0, 1}, {0, 0, 2}, {0, 0, 3}, {1, 0, 2},
+                          {4, 1, 0}};
+  NodeLayout layout = NodeLayout::Create(config).ValueOrDie();
+  Graph g = Graph::Build(layout, 2, edges).ValueOrDie();
+
+  GraphStats stats = ComputeStats(g);
+  EXPECT_EQ(stats.num_nodes, 5);
+  EXPECT_EQ(stats.num_edges, 5u);
+  EXPECT_EQ(stats.edges_per_predicate[0], 4u);
+  EXPECT_EQ(stats.edges_per_predicate[1], 1u);
+  EXPECT_DOUBLE_EQ(stats.density, 1.0);
+
+  DegreeStats out_p = OutDegreeStats(g, 0, 0);
+  // Out-degrees for p over all 5 nodes: 3,1,0,0,0.
+  EXPECT_DOUBLE_EQ(out_p.mean, 0.8);
+  EXPECT_EQ(out_p.max, 3);
+  EXPECT_EQ(out_p.nonzero_nodes, 2);
+
+  DegreeStats in_p = InDegreeStats(g, 0, 0);
+  // In-degrees for p: 0,1,2,1,0.
+  EXPECT_DOUBLE_EQ(in_p.mean, 0.8);
+  EXPECT_EQ(in_p.max, 2);
+  EXPECT_EQ(in_p.nonzero_nodes, 3);
+}
+
+TEST(StatsTest, ToStringMentionsSchemaNames) {
+  GraphConfiguration config = HandConfig();
+  NodeLayout layout = NodeLayout::Create(config).ValueOrDie();
+  Graph g = Graph::Build(layout, 2, {}).ValueOrDie();
+  std::string text = ComputeStats(g).ToString(config.schema);
+  EXPECT_NE(text.find("type t"), std::string::npos);
+  EXPECT_NE(text.find("predicate p"), std::string::npos);
+  EXPECT_NE(text.find("predicate q"), std::string::npos);
+}
+
+TEST(StatsTest, EmptyTypeGivesZeroStats) {
+  GraphConfiguration config = HandConfig();
+  NodeLayout layout = NodeLayout::Create(config).ValueOrDie();
+  Graph g = Graph::Build(layout, 2, {}).ValueOrDie();
+  DegreeStats out = OutDegreeStats(g, 0, 0);
+  EXPECT_DOUBLE_EQ(out.mean, 0.0);
+  EXPECT_EQ(out.max, 0);
+}
+
+}  // namespace
+}  // namespace gmark

@@ -1,0 +1,131 @@
+#include "query/query.h"
+
+#include <gtest/gtest.h>
+
+#include "core/use_cases.h"
+
+namespace gmark {
+namespace {
+
+// The query of paper Example 3.4 (two rules over symbols a, b, c):
+//   (?x,?y,?z) <- (?x,(a.b+c)*,?y), (?y,a,?w), (?w,b^-,?z)
+//   (?x,?y,?z) <- (?x,(a.b+c)*,?y), (?y,a,?z)
+Query Example34Query() {
+  RegularExpression star;
+  star.disjuncts = {{Symbol::Fwd(0), Symbol::Fwd(1)}, {Symbol::Fwd(2)}};
+  star.star = true;
+
+  QueryRule r1;
+  r1.head = {0, 1, 3};
+  r1.body = {Conjunct{0, 1, star},
+             Conjunct{1, 2, RegularExpression::Atom(Symbol::Fwd(0))},
+             Conjunct{2, 3, RegularExpression::Atom(Symbol::Inv(1))}};
+  QueryRule r2;
+  r2.head = {0, 1, 2};
+  r2.body = {Conjunct{0, 1, star},
+             Conjunct{1, 2, RegularExpression::Atom(Symbol::Fwd(0))}};
+  Query q;
+  q.name = "example34";
+  q.rules = {r1, r2};
+  return q;
+}
+
+GraphSchema AbcSchema() {
+  GraphSchema s;
+  EXPECT_TRUE(s.AddType("T", OccurrenceConstraint::Proportion(1.0)).ok());
+  EXPECT_TRUE(s.AddPredicate("a").ok());
+  EXPECT_TRUE(s.AddPredicate("b").ok());
+  EXPECT_TRUE(s.AddPredicate("c").ok());
+  return s;
+}
+
+TEST(QueryTest, Example34MeasuresLikeThePaper) {
+  // "This query has size ([2,2],[2,3],[1,2],[1,2])" (paper §3.3).
+  QuerySizeInfo info = MeasureQuery(Example34Query());
+  EXPECT_EQ(info.rules, 2u);
+  EXPECT_EQ(info.min_conjuncts, 2u);
+  EXPECT_EQ(info.max_conjuncts, 3u);
+  EXPECT_EQ(info.min_disjuncts, 1u);
+  EXPECT_EQ(info.max_disjuncts, 2u);
+  EXPECT_EQ(info.min_path_length, 1u);
+  EXPECT_EQ(info.max_path_length, 2u);
+  EXPECT_TRUE(info.has_recursion);
+  EXPECT_EQ(Example34Query().arity(), 3u);
+}
+
+TEST(QueryTest, ValidatesAgainstSchema) {
+  GraphSchema schema = AbcSchema();
+  EXPECT_TRUE(Example34Query().Validate(schema).ok());
+}
+
+TEST(QueryTest, ToStringIsReadable) {
+  GraphSchema schema = AbcSchema();
+  std::string text = Example34Query().ToString(schema);
+  EXPECT_NE(text.find("(a . b + c)*"), std::string::npos);
+  EXPECT_NE(text.find("b^-"), std::string::npos);
+  EXPECT_NE(text.find("?x0"), std::string::npos);
+  EXPECT_NE(text.find("<-"), std::string::npos);
+}
+
+TEST(QueryTest, ValidateRejectsEmptyQuery) {
+  GraphSchema schema = AbcSchema();
+  Query q;
+  EXPECT_FALSE(q.Validate(schema).ok());
+}
+
+TEST(QueryTest, ValidateRejectsUnboundHeadVariable) {
+  GraphSchema schema = AbcSchema();
+  Query q;
+  QueryRule rule;
+  rule.head = {9};
+  rule.body = {Conjunct{0, 1, RegularExpression::Atom(Symbol::Fwd(0))}};
+  q.rules = {rule};
+  EXPECT_FALSE(q.Validate(schema).ok());
+}
+
+TEST(QueryTest, ValidateRejectsUnequalArities) {
+  GraphSchema schema = AbcSchema();
+  Query q;
+  QueryRule r1, r2;
+  r1.head = {0};
+  r1.body = {Conjunct{0, 1, RegularExpression::Atom(Symbol::Fwd(0))}};
+  r2.head = {0, 1};
+  r2.body = {Conjunct{0, 1, RegularExpression::Atom(Symbol::Fwd(0))}};
+  q.rules = {r1, r2};
+  EXPECT_FALSE(q.Validate(schema).ok());
+}
+
+TEST(QueryTest, ValidateRejectsEmptyBodyAndBadPredicate) {
+  GraphSchema schema = AbcSchema();
+  Query q;
+  QueryRule rule;
+  rule.body = {};
+  q.rules = {rule};
+  EXPECT_FALSE(q.Validate(schema).ok());
+
+  QueryRule bad_pred;
+  bad_pred.body = {Conjunct{0, 1, RegularExpression::Atom(Symbol::Fwd(99))}};
+  q.rules = {bad_pred};
+  EXPECT_FALSE(q.Validate(schema).ok());
+}
+
+TEST(QueryTest, RegexPathLengthHelpers) {
+  RegularExpression r;
+  r.disjuncts = {{Symbol::Fwd(0)},
+                 {Symbol::Fwd(0), Symbol::Fwd(1), Symbol::Fwd(2)}};
+  EXPECT_EQ(r.min_path_length(), 1u);
+  EXPECT_EQ(r.max_path_length(), 3u);
+  EXPECT_EQ(r.disjunct_count(), 2u);
+}
+
+TEST(QueryTest, BooleanQueryHasArityZero) {
+  Query q;
+  QueryRule rule;
+  rule.body = {Conjunct{0, 1, RegularExpression::Atom(Symbol::Fwd(0))}};
+  q.rules = {rule};
+  EXPECT_EQ(q.arity(), 0u);
+  EXPECT_TRUE(q.Validate(AbcSchema()).ok());
+}
+
+}  // namespace
+}  // namespace gmark

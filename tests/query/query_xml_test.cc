@@ -1,0 +1,111 @@
+#include "query/query_xml.h"
+
+#include <gtest/gtest.h>
+
+#include "core/use_cases.h"
+#include "workload/presets.h"
+#include "workload/query_generator.h"
+
+namespace gmark {
+namespace {
+
+TEST(QueryXmlTest, RoundTripsHandQuery) {
+  GraphConfiguration config = MakeBibConfig(1000);
+  RegularExpression star;
+  star.disjuncts = {{Symbol::Fwd(0), Symbol::Inv(0)}};
+  star.star = true;
+  Query q;
+  q.name = "coauthor";
+  QueryRule rule;
+  rule.head = {0, 1};
+  rule.body = {Conjunct{0, 1, star}};
+  q.rules = {rule};
+
+  std::string xml = QueriesToXml({q}, config.schema);
+  auto parsed = ParseQueriesXml(xml, config.schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0], q);
+}
+
+class WorkloadXmlRoundTrip : public ::testing::TestWithParam<WorkloadPreset> {
+};
+
+TEST_P(WorkloadXmlRoundTrip, GeneratedWorkloadSurvivesXml) {
+  GraphConfiguration config = MakeBibConfig(1000);
+  QueryGenerator gen(&config.schema);
+  Workload workload =
+      gen.Generate(MakePresetWorkload(GetParam(), 9, 5)).ValueOrDie();
+  std::vector<Query> queries = workload.RawQueries();
+  std::string xml = QueriesToXml(queries, config.schema);
+  auto parsed = ParseQueriesXml(xml, config.schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, queries);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WorkloadXmlRoundTrip,
+                         ::testing::ValuesIn(AllWorkloadPresets()),
+                         [](const auto& info) {
+                           return WorkloadPresetName(info.param);
+                         });
+
+TEST(QueryXmlTest, RejectsUnknownPredicate) {
+  GraphConfiguration config = MakeBibConfig(1000);
+  const char* xml = R"(<workload><query name="q" arity="2"><rule>
+    <head><var id="0"/><var id="1"/></head>
+    <body><conjunct source="0" target="1">
+      <regex star="false"><disjunct><symbol predicate="nope"/></disjunct>
+      </regex></conjunct></body>
+  </rule></query></workload>)";
+  EXPECT_FALSE(ParseQueriesXml(xml, config.schema).ok());
+}
+
+TEST(QueryXmlTest, RejectsStructuralOmissions) {
+  GraphConfiguration config = MakeBibConfig(1000);
+  EXPECT_FALSE(
+      ParseQueriesXml("<workload><query><rule/></query></workload>",
+                      config.schema)
+          .ok());
+  EXPECT_FALSE(ParseQueriesXml("<notworkload/>", config.schema).ok());
+}
+
+TEST(WorkloadConfigXmlTest, RoundTrip) {
+  WorkloadConfiguration config = MakePresetWorkload(WorkloadPreset::kRec);
+  config.arity = IntRange::Between(0, 3);
+  config.shapes = {QueryShape::kChain, QueryShape::kStar};
+  std::string xml = WorkloadConfigToXml(config);
+  auto parsed = ParseWorkloadConfigXml(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->name, config.name);
+  EXPECT_EQ(parsed->num_queries, config.num_queries);
+  EXPECT_EQ(parsed->seed, config.seed);
+  EXPECT_EQ(parsed->arity.min, 0);
+  EXPECT_EQ(parsed->arity.max, 3);
+  EXPECT_EQ(parsed->shapes, config.shapes);
+  EXPECT_EQ(parsed->selectivities, config.selectivities);
+  EXPECT_DOUBLE_EQ(parsed->recursion_probability,
+                   config.recursion_probability);
+  EXPECT_EQ(parsed->size.conjuncts.max, config.size.conjuncts.max);
+  EXPECT_EQ(parsed->size.path_length.min, config.size.path_length.min);
+}
+
+TEST(WorkloadConfigXmlTest, ParsesMinimalDocument) {
+  auto parsed = ParseWorkloadConfigXml("<workload queries=\"5\"/>");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->num_queries, 5u);
+  // Defaults survive.
+  EXPECT_EQ(parsed->shapes.size(), 1u);
+  EXPECT_EQ(parsed->selectivities.size(), 3u);
+}
+
+TEST(WorkloadConfigXmlTest, RejectsInvalidConfig) {
+  EXPECT_FALSE(ParseWorkloadConfigXml("<workload queries=\"0\"/>").ok());
+  EXPECT_FALSE(
+      ParseWorkloadConfigXml(
+          "<workload queries=\"3\"><shapes><shape>blob</shape></shapes>"
+          "</workload>")
+          .ok());
+}
+
+}  // namespace
+}  // namespace gmark

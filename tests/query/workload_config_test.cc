@@ -1,0 +1,74 @@
+#include "query/workload_config.h"
+
+#include <gtest/gtest.h>
+
+namespace gmark {
+namespace {
+
+TEST(IntRangeTest, Basics) {
+  IntRange r = IntRange::Between(2, 5);
+  EXPECT_TRUE(r.Contains(2));
+  EXPECT_TRUE(r.Contains(5));
+  EXPECT_FALSE(r.Contains(1));
+  EXPECT_FALSE(r.Contains(6));
+  EXPECT_EQ(r.ToString(), "[2,5]");
+  EXPECT_EQ(IntRange::Exactly(3).min, 3);
+  EXPECT_EQ(IntRange::Exactly(3).max, 3);
+}
+
+TEST(WorkloadConfigTest, DefaultValidates) {
+  WorkloadConfiguration config;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(WorkloadConfigTest, RejectsBadValues) {
+  WorkloadConfiguration config;
+  config.num_queries = 0;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = WorkloadConfiguration();
+  config.shapes.clear();
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = WorkloadConfiguration();
+  config.selectivities.clear();
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = WorkloadConfiguration();
+  config.recursion_probability = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = WorkloadConfiguration();
+  config.size.conjuncts = IntRange::Between(3, 1);
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = WorkloadConfiguration();
+  config.size.path_length = IntRange::Between(0, 2);
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = WorkloadConfiguration();
+  config.arity = IntRange::Between(-1, 2);
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(WorkloadConfigTest, ShapeNamesRoundTrip) {
+  for (QueryShape s : {QueryShape::kChain, QueryShape::kStar,
+                       QueryShape::kCycle, QueryShape::kStarChain}) {
+    EXPECT_EQ(ParseQueryShape(QueryShapeName(s)).ValueOrDie(), s);
+  }
+  EXPECT_EQ(ParseQueryShape("star-chain").ValueOrDie(),
+            QueryShape::kStarChain);
+  EXPECT_FALSE(ParseQueryShape("triangle").ok());
+}
+
+TEST(WorkloadConfigTest, SelectivityNamesRoundTrip) {
+  for (QuerySelectivity s :
+       {QuerySelectivity::kConstant, QuerySelectivity::kLinear,
+        QuerySelectivity::kQuadratic}) {
+    EXPECT_EQ(ParseQuerySelectivity(QuerySelectivityName(s)).ValueOrDie(), s);
+  }
+  EXPECT_FALSE(ParseQuerySelectivity("cubic").ok());
+}
+
+}  // namespace
+}  // namespace gmark

@@ -1,0 +1,172 @@
+#include "selectivity/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/use_cases.h"
+
+namespace gmark {
+namespace {
+
+Query ChainQuery(std::vector<RegularExpression> exprs) {
+  Query q;
+  QueryRule rule;
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    rule.body.push_back(Conjunct{static_cast<VarId>(i),
+                                 static_cast<VarId>(i + 1),
+                                 std::move(exprs[i])});
+  }
+  rule.head = {0, static_cast<VarId>(exprs.size())};
+  q.rules = {rule};
+  q.name = "test";
+  return q;
+}
+
+class BibEstimatorTest : public ::testing::Test {
+ protected:
+  BibEstimatorTest()
+      : config_(MakeBibConfig(10000)), estimator_(&config_.schema) {}
+
+  PredicateId Pred(const std::string& name) {
+    return config_.schema.PredicateIdOf(name).ValueOrDie();
+  }
+
+  GraphConfiguration config_;
+  SelectivityEstimator estimator_;
+};
+
+TEST_F(BibEstimatorTest, SingleForwardEdgeIsLinear) {
+  // authors: researcher -> paper, both growing: alpha 1.
+  Query q = ChainQuery({RegularExpression::Atom(Symbol::Fwd(Pred("authors")))});
+  EXPECT_EQ(estimator_.EstimateAlpha(q).ValueOrDie(), 1);
+}
+
+TEST_F(BibEstimatorTest, CoAuthorshipIsLinearButItsClosureIsQuadratic) {
+  // authors . authors^- (co-authors): < then > = diamond: linear.
+  RegularExpression co;
+  co.disjuncts = {{Symbol::Fwd(Pred("authors")), Symbol::Inv(Pred("authors"))}};
+  EXPECT_EQ(estimator_.EstimateAlpha(ChainQuery({co})).ValueOrDie(), 1);
+  // (authors . authors^-)*: the paper's intro example: quadratic.
+  co.star = true;
+  EXPECT_EQ(estimator_.EstimateAlpha(ChainQuery({co})).ValueOrDie(), 2);
+}
+
+TEST_F(BibEstimatorTest, PapersSharingAnAuthorIsQuadratic) {
+  // authors^- . authors: > then < = cross.
+  RegularExpression shared;
+  shared.disjuncts = {
+      {Symbol::Inv(Pred("authors")), Symbol::Fwd(Pred("authors"))}};
+  EXPECT_EQ(estimator_.EstimateAlpha(ChainQuery({shared})).ValueOrDie(), 2);
+}
+
+TEST_F(BibEstimatorTest, CityLoopIsConstant) {
+  // heldIn^- . heldIn: city -> conference -> city, fixed to fixed.
+  RegularExpression loop;
+  loop.disjuncts = {
+      {Symbol::Inv(Pred("heldIn")), Symbol::Fwd(Pred("heldIn"))}};
+  EXPECT_EQ(estimator_.EstimateAlpha(ChainQuery({loop})).ValueOrDie(), 0);
+}
+
+TEST_F(BibEstimatorTest, DisjunctionTakesTheJoin) {
+  // authors + authors is still linear; adding a quadratic disjunct
+  // would raise it, but regular-expression disjuncts share endpoints
+  // here so we check idempotence.
+  RegularExpression two;
+  two.disjuncts = {{Symbol::Fwd(Pred("authors"))},
+                   {Symbol::Fwd(Pred("authors"))}};
+  EXPECT_EQ(estimator_.EstimateAlpha(ChainQuery({two})).ValueOrDie(), 1);
+}
+
+TEST_F(BibEstimatorTest, ChainCompositionPropagates) {
+  // researcher -authors-> paper -publishedIn-> conference -heldIn-> city:
+  // (N,<,N).(N,=,N).(N,>,1) = (N,>,1)-ish: linear.
+  Query q = ChainQuery(
+      {RegularExpression::Atom(Symbol::Fwd(Pred("authors"))),
+       RegularExpression::Atom(Symbol::Fwd(Pred("publishedIn"))),
+       RegularExpression::Atom(Symbol::Fwd(Pred("heldIn")))});
+  EXPECT_EQ(estimator_.EstimateAlpha(q).ValueOrDie(), 1);
+}
+
+TEST_F(BibEstimatorTest, ImpossiblePathReportsNotFound) {
+  // heldIn . heldIn: city has no outgoing heldIn.
+  RegularExpression impossible;
+  impossible.disjuncts = {
+      {Symbol::Fwd(Pred("heldIn")), Symbol::Fwd(Pred("heldIn"))}};
+  auto r = estimator_.EstimateAlpha(ChainQuery({impossible}));
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST_F(BibEstimatorTest, UnionTakesMaxOverRules) {
+  Query q;
+  QueryRule linear_rule;
+  linear_rule.head = {0, 1};
+  linear_rule.body = {
+      Conjunct{0, 1, RegularExpression::Atom(Symbol::Fwd(Pred("authors")))}};
+  QueryRule quad_rule;
+  RegularExpression shared;
+  shared.disjuncts = {
+      {Symbol::Inv(Pred("authors")), Symbol::Fwd(Pred("authors"))}};
+  quad_rule.head = {0, 1};
+  quad_rule.body = {Conjunct{0, 1, shared}};
+  q.rules = {linear_rule, quad_rule};
+  EXPECT_EQ(estimator_.EstimateAlpha(q).ValueOrDie(), 2);
+}
+
+TEST_F(BibEstimatorTest, NonChainShapesAreUnsupported) {
+  Query q;
+  QueryRule star_rule;
+  star_rule.head = {1, 2};
+  star_rule.body = {
+      Conjunct{0, 1, RegularExpression::Atom(Symbol::Fwd(Pred("authors")))},
+      Conjunct{0, 2, RegularExpression::Atom(Symbol::Fwd(Pred("authors")))}};
+  q.rules = {star_rule};
+  EXPECT_TRUE(estimator_.EstimateAlpha(q).status().IsUnsupported());
+}
+
+TEST(EstimatorLsnTest, KnowsClosureIsQuadratic) {
+  GraphConfiguration config = MakeLsnConfig(10000);
+  SelectivityEstimator estimator(&config.schema);
+  PredicateId knows = config.schema.PredicateIdOf("knows").ValueOrDie();
+  RegularExpression closure;
+  closure.disjuncts = {{Symbol::Fwd(knows)}};
+  closure.star = true;
+  EXPECT_EQ(estimator.EstimateAlpha(ChainQuery({closure})).ValueOrDie(), 2);
+  // knows itself is linear.
+  RegularExpression single = RegularExpression::Atom(Symbol::Fwd(knows));
+  EXPECT_EQ(estimator.EstimateAlpha(ChainQuery({single})).ValueOrDie(), 1);
+}
+
+TEST(AsChainTest, OrdersShuffledChains) {
+  QueryRule rule;
+  rule.body = {Conjunct{2, 3, {}}, Conjunct{0, 1, {}}, Conjunct{1, 2, {}}};
+  auto chain = AsChain(rule);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ((*chain)[0].source, 0);
+  EXPECT_EQ((*chain)[1].source, 1);
+  EXPECT_EQ((*chain)[2].source, 2);
+  EXPECT_EQ((*chain)[2].target, 3);
+}
+
+TEST(AsChainTest, RejectsNonChains) {
+  QueryRule star;
+  star.body = {Conjunct{0, 1, {}}, Conjunct{0, 2, {}}};
+  EXPECT_FALSE(AsChain(star).ok());
+
+  QueryRule cycle;
+  cycle.body = {Conjunct{0, 1, {}}, Conjunct{1, 0, {}}};
+  EXPECT_FALSE(AsChain(cycle).ok());
+
+  QueryRule disconnected;
+  disconnected.body = {Conjunct{0, 1, {}}, Conjunct{5, 6, {}}};
+  EXPECT_FALSE(AsChain(disconnected).ok());
+}
+
+TEST(AsChainTest, SingleConjunctIsAChain) {
+  QueryRule rule;
+  rule.body = {Conjunct{4, 7, {}}};
+  auto chain = AsChain(rule);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->size(), 1u);
+}
+
+}  // namespace
+}  // namespace gmark

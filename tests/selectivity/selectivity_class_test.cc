@@ -1,0 +1,251 @@
+#include "selectivity/selectivity_class.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gmark {
+namespace {
+
+const std::vector<SelOp> kAllOps{SelOp::kEq, SelOp::kLess, SelOp::kGreater,
+                                 SelOp::kDiamond, SelOp::kCross};
+
+TEST(SelectivityAlgebraTest, PaperAnchorIdentities) {
+  // §5.2.2: "the diamond is the result of a < followed by a >" and
+  // "the cross is the result of a > followed by a <".
+  EXPECT_EQ(ComposeOp(SelOp::kLess, SelOp::kGreater), SelOp::kDiamond);
+  EXPECT_EQ(ComposeOp(SelOp::kGreater, SelOp::kLess), SelOp::kCross);
+}
+
+TEST(SelectivityAlgebraTest, EqIsIdentityForCompose) {
+  for (SelOp o : kAllOps) {
+    EXPECT_EQ(ComposeOp(SelOp::kEq, o), o);
+    EXPECT_EQ(ComposeOp(o, SelOp::kEq), o);
+  }
+}
+
+TEST(SelectivityAlgebraTest, CrossIsAbsorbingForCompose) {
+  for (SelOp o : kAllOps) {
+    EXPECT_EQ(ComposeOp(SelOp::kCross, o), SelOp::kCross);
+    EXPECT_EQ(ComposeOp(o, SelOp::kCross), SelOp::kCross);
+  }
+}
+
+TEST(SelectivityAlgebraTest, ComposeIsAssociative) {
+  // Property check over all 125 triples: (a.b).c == a.(b.c).
+  for (SelOp a : kAllOps) {
+    for (SelOp b : kAllOps) {
+      for (SelOp c : kAllOps) {
+        EXPECT_EQ(ComposeOp(ComposeOp(a, b), c), ComposeOp(a, ComposeOp(b, c)))
+            << SelOpName(a) << " . " << SelOpName(b) << " . " << SelOpName(c);
+      }
+    }
+  }
+}
+
+TEST(SelectivityAlgebraTest, DisjoinIsCommutativeAndIdempotent) {
+  for (SelOp a : kAllOps) {
+    EXPECT_EQ(DisjoinOp(a, a), a) << SelOpName(a);
+    for (SelOp b : kAllOps) {
+      EXPECT_EQ(DisjoinOp(a, b), DisjoinOp(b, a))
+          << SelOpName(a) << " + " << SelOpName(b);
+    }
+  }
+}
+
+TEST(SelectivityAlgebraTest, DisjoinIsAssociative) {
+  for (SelOp a : kAllOps) {
+    for (SelOp b : kAllOps) {
+      for (SelOp c : kAllOps) {
+        EXPECT_EQ(DisjoinOp(DisjoinOp(a, b), c), DisjoinOp(a, DisjoinOp(b, c)));
+      }
+    }
+  }
+}
+
+TEST(SelectivityAlgebraTest, CrossIsAbsorbingForDisjoin) {
+  for (SelOp o : kAllOps) {
+    EXPECT_EQ(DisjoinOp(SelOp::kCross, o), SelOp::kCross);
+  }
+}
+
+TEST(SelectivityAlgebraTest, ReverseIsInvolution) {
+  for (SelOp o : kAllOps) {
+    EXPECT_EQ(ReverseOp(ReverseOp(o)), o);
+  }
+  EXPECT_EQ(ReverseOp(SelOp::kLess), SelOp::kGreater);
+  EXPECT_EQ(ReverseOp(SelOp::kDiamond), SelOp::kDiamond);
+}
+
+TEST(SelectivityAlgebraTest, ReverseAntiCommutesWithCompose) {
+  // reverse(a . b) == reverse(b) . reverse(a): the class of the inverse
+  // relation of a composition.
+  for (SelOp a : kAllOps) {
+    for (SelOp b : kAllOps) {
+      EXPECT_EQ(ReverseOp(ComposeOp(a, b)),
+                ComposeOp(ReverseOp(b), ReverseOp(a)))
+          << SelOpName(a) << " . " << SelOpName(b);
+    }
+  }
+}
+
+TEST(SelectivityTripleTest, NormalizationKeepsOnlyPermittedTriples) {
+  // Paper §5.2.2: (1,=,1), (1,<,N), (N,>,1) are the only triples with 1.
+  for (SelOp o : kAllOps) {
+    SelTriple both{SelType::kOne, o, SelType::kOne};
+    EXPECT_EQ(Normalize(both),
+              (SelTriple{SelType::kOne, SelOp::kEq, SelType::kOne}));
+    SelTriple left{SelType::kOne, o, SelType::kN};
+    EXPECT_EQ(Normalize(left),
+              (SelTriple{SelType::kOne, SelOp::kLess, SelType::kN}));
+    SelTriple right{SelType::kN, o, SelType::kOne};
+    EXPECT_EQ(Normalize(right),
+              (SelTriple{SelType::kN, SelOp::kGreater, SelType::kOne}));
+    SelTriple none{SelType::kN, o, SelType::kN};
+    EXPECT_EQ(Normalize(none), none);
+  }
+}
+
+TEST(SelectivityTripleTest, AlphaMapping) {
+  // (1,=,1) -> 0; (N,x,N) -> 2; everything else -> 1 (§5.2.2).
+  EXPECT_EQ(AlphaOf({SelType::kOne, SelOp::kEq, SelType::kOne}), 0);
+  EXPECT_EQ(AlphaOf({SelType::kN, SelOp::kCross, SelType::kN}), 2);
+  EXPECT_EQ(AlphaOf({SelType::kN, SelOp::kEq, SelType::kN}), 1);
+  EXPECT_EQ(AlphaOf({SelType::kN, SelOp::kLess, SelType::kN}), 1);
+  EXPECT_EQ(AlphaOf({SelType::kN, SelOp::kDiamond, SelType::kN}), 1);
+  EXPECT_EQ(AlphaOf({SelType::kOne, SelOp::kLess, SelType::kN}), 1);
+  EXPECT_EQ(AlphaOf({SelType::kN, SelOp::kGreater, SelType::kOne}), 1);
+  // Un-normalized triples with a 1 cannot be quadratic.
+  EXPECT_EQ(AlphaOf({SelType::kOne, SelOp::kCross, SelType::kOne}), 0);
+}
+
+TEST(SelectivityTripleTest, ClassOfMapping) {
+  EXPECT_EQ(ClassOf({SelType::kOne, SelOp::kEq, SelType::kOne}),
+            QuerySelectivity::kConstant);
+  EXPECT_EQ(ClassOf({SelType::kN, SelOp::kDiamond, SelType::kN}),
+            QuerySelectivity::kLinear);
+  EXPECT_EQ(ClassOf({SelType::kN, SelOp::kCross, SelType::kN}),
+            QuerySelectivity::kQuadratic);
+}
+
+TEST(SelectivityTripleTest, StarSquaresTheClass) {
+  // knows with Zipfian in+out is diamond; knows* must be quadratic
+  // (paper §5.2.1's transitive-closure example).
+  SelTriple knows{SelType::kN, SelOp::kDiamond, SelType::kN};
+  EXPECT_EQ(Star(knows).op, SelOp::kCross);
+  // A plain (N,=,N) loop stays linear under star.
+  SelTriple eq{SelType::kN, SelOp::kEq, SelType::kN};
+  EXPECT_EQ(Star(eq), eq);
+}
+
+TEST(SelectivityTripleTest, EncodeIsInjectiveOverValidTriples) {
+  std::vector<SelTriple> all;
+  for (SelType l : {SelType::kOne, SelType::kN}) {
+    for (SelOp o : kAllOps) {
+      for (SelType r : {SelType::kOne, SelType::kN}) {
+        all.push_back({l, o, r});
+      }
+    }
+  }
+  for (size_t i = 0; i < all.size(); ++i) {
+    for (size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_NE(all[i].Encode(), all[j].Encode());
+    }
+  }
+}
+
+TEST(SelectivityTripleTest, ToStringForms) {
+  EXPECT_EQ((SelTriple{SelType::kN, SelOp::kLess, SelType::kN}).ToString(),
+            "(N,<,N)");
+  EXPECT_EQ((SelTriple{SelType::kOne, SelOp::kEq, SelType::kOne}).ToString(),
+            "(1,=,1)");
+  EXPECT_EQ(
+      (SelTriple{SelType::kN, SelOp::kCross, SelType::kN}).ToString(),
+      "(N,x,N)");
+}
+
+// --- Example 5.1 of the paper, verbatim -------------------------------
+
+class Example51Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Example 3.3 schema: Sigma = {a, b}, Theta = {T1, T2, T3},
+    // T(T1)=60%, T(T2)=20%, T(T3)=1 (fixed);
+    // eta(T1,T1,a) = (gaussian, zipfian), eta(T1,T2,b) = (uniform,
+    // gaussian), eta(T2,T2,b) = (gaussian, ns), eta(T2,T3,b) = (ns,
+    // uniform).
+    ASSERT_TRUE(
+        schema.AddType("T1", OccurrenceConstraint::Proportion(0.6)).ok());
+    ASSERT_TRUE(
+        schema.AddType("T2", OccurrenceConstraint::Proportion(0.2)).ok());
+    ASSERT_TRUE(schema.AddType("T3", OccurrenceConstraint::Fixed(1)).ok());
+    ASSERT_TRUE(schema.AddPredicate("a").ok());
+    ASSERT_TRUE(schema.AddPredicate("b").ok());
+    ASSERT_TRUE(schema
+                    .AddEdgeConstraintByName(
+                        "T1", "a", "T1", DistributionSpec::Gaussian(2, 1),
+                        DistributionSpec::Zipfian(2.5))
+                    .ok());
+    ASSERT_TRUE(schema
+                    .AddEdgeConstraintByName(
+                        "T1", "b", "T2", DistributionSpec::Uniform(1, 2),
+                        DistributionSpec::Gaussian(1, 1))
+                    .ok());
+    ASSERT_TRUE(schema
+                    .AddEdgeConstraintByName(
+                        "T2", "b", "T2", DistributionSpec::Gaussian(1, 1),
+                        DistributionSpec::NonSpecified())
+                    .ok());
+    ASSERT_TRUE(schema
+                    .AddEdgeConstraintByName(
+                        "T2", "b", "T3", DistributionSpec::NonSpecified(),
+                        DistributionSpec::Uniform(1, 2))
+                    .ok());
+  }
+
+  const EdgeConstraint& ConstraintAt(size_t i) {
+    return schema.edge_constraints()[i];
+  }
+
+  GraphSchema schema;
+};
+
+TEST_F(Example51Test, SymbolTriplesMatchThePaper) {
+  // sel_{T1,T1}(a) = (N,<,N), sel_{T1,T1}(a^-) = (N,>,N).
+  EXPECT_EQ(SymbolTriple(schema, ConstraintAt(0), false),
+            (SelTriple{SelType::kN, SelOp::kLess, SelType::kN}));
+  EXPECT_EQ(SymbolTriple(schema, ConstraintAt(0), true),
+            (SelTriple{SelType::kN, SelOp::kGreater, SelType::kN}));
+  // sel_{T1,T2}(b) = (N,=,N) and its inverse likewise.
+  EXPECT_EQ(SymbolTriple(schema, ConstraintAt(1), false),
+            (SelTriple{SelType::kN, SelOp::kEq, SelType::kN}));
+  EXPECT_EQ(SymbolTriple(schema, ConstraintAt(1), true),
+            (SelTriple{SelType::kN, SelOp::kEq, SelType::kN}));
+  // sel_{T2,T2}(b) = (N,=,N).
+  EXPECT_EQ(SymbolTriple(schema, ConstraintAt(2), false),
+            (SelTriple{SelType::kN, SelOp::kEq, SelType::kN}));
+  // sel_{T2,T3}(b) = (N,>,1) and sel_{T3,T2}(b^-) = (1,<,N).
+  EXPECT_EQ(SymbolTriple(schema, ConstraintAt(3), false),
+            (SelTriple{SelType::kN, SelOp::kGreater, SelType::kOne}));
+  EXPECT_EQ(SymbolTriple(schema, ConstraintAt(3), true),
+            (SelTriple{SelType::kOne, SelOp::kLess, SelType::kN}));
+}
+
+TEST_F(Example51Test, BothZipfianGivesDiamond) {
+  GraphSchema s2;
+  ASSERT_TRUE(
+      s2.AddType("person", OccurrenceConstraint::Proportion(1.0)).ok());
+  ASSERT_TRUE(s2.AddPredicate("knows").ok());
+  ASSERT_TRUE(s2.AddEdgeConstraintByName(
+                    "person", "knows", "person",
+                    DistributionSpec::Zipfian(2.5),
+                    DistributionSpec::Zipfian(2.5))
+                  .ok());
+  SelTriple knows = SymbolTriple(s2, s2.edge_constraints()[0], false);
+  EXPECT_EQ(knows.op, SelOp::kDiamond);
+  // The paper's quadratic example: the closure of knows.
+  EXPECT_EQ(AlphaOf(Star(knows)), 2);
+}
+
+}  // namespace
+}  // namespace gmark

@@ -1,0 +1,213 @@
+#include "translate/translator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/use_cases.h"
+#include "workload/presets.h"
+#include "workload/query_generator.h"
+
+namespace gmark {
+namespace {
+
+// Fixture: Bib schema plus a recursive query
+//   (?x,?y) <- (?x, (authors . authors^-)*, ?y)
+// and a plain 2-conjunct chain.
+class TranslatorTest : public ::testing::Test {
+ protected:
+  TranslatorTest() : config_(MakeBibConfig(1000)) {}
+
+  Query CoAuthorClosure() {
+    RegularExpression co;
+    co.disjuncts = {{Symbol::Fwd(0), Symbol::Inv(0)}};
+    co.star = true;
+    Query q;
+    q.name = "co";
+    QueryRule rule;
+    rule.head = {0, 1};
+    rule.body = {Conjunct{0, 1, co}};
+    q.rules = {rule};
+    return q;
+  }
+
+  Query TwoConjunctChain() {
+    Query q;
+    q.name = "chain";
+    QueryRule rule;
+    rule.head = {0, 2};
+    rule.body = {Conjunct{0, 1, RegularExpression::Atom(Symbol::Fwd(0))},
+                 Conjunct{1, 2, RegularExpression::Atom(Symbol::Fwd(1))}};
+    q.rules = {rule};
+    return q;
+  }
+
+  GraphConfiguration config_;
+};
+
+TEST_F(TranslatorTest, SparqlUsesPropertyPaths) {
+  std::string text =
+      TranslateQuery(CoAuthorClosure(), config_.schema,
+                     QueryLanguage::kSparql)
+          .ValueOrDie();
+  EXPECT_NE(text.find("SELECT DISTINCT ?h0 ?h1"), std::string::npos);
+  EXPECT_NE(text.find("(<http://gmark/p/authors>/^<http://gmark/p/authors>)*"),
+            std::string::npos);
+}
+
+TEST_F(TranslatorTest, SparqlCountDistinctWrapsSubselect) {
+  TranslateOptions options;
+  options.count_distinct = true;
+  std::string text = TranslateQuery(TwoConjunctChain(), config_.schema,
+                                    QueryLanguage::kSparql, options)
+                         .ValueOrDie();
+  EXPECT_NE(text.find("COUNT(*)"), std::string::npos);
+  EXPECT_NE(text.find("SELECT DISTINCT ?h0 ?h1"), std::string::npos);
+}
+
+TEST_F(TranslatorTest, SparqlBooleanIsAsk) {
+  Query q = TwoConjunctChain();
+  q.rules[0].head = {};
+  std::string text =
+      TranslateQuery(q, config_.schema, QueryLanguage::kSparql).ValueOrDie();
+  EXPECT_EQ(text.rfind("ASK", 0), 0u);
+}
+
+TEST_F(TranslatorTest, CypherRestrictsStarPatterns) {
+  // Paper §7.1: inverse and concatenation are dropped under the star.
+  std::string text =
+      TranslateQuery(CoAuthorClosure(), config_.schema,
+                     QueryLanguage::kOpenCypher)
+          .ValueOrDie();
+  EXPECT_NE(text.find("[:authors*0..]"), std::string::npos);
+  EXPECT_EQ(text.find("authors^-"), std::string::npos);
+  EXPECT_EQ(text.find("<-["), std::string::npos);  // No inverse arrows.
+}
+
+TEST_F(TranslatorTest, CypherPlainChainUsesArrows) {
+  std::string text = TranslateQuery(TwoConjunctChain(), config_.schema,
+                                    QueryLanguage::kOpenCypher)
+                         .ValueOrDie();
+  EXPECT_NE(text.find("MATCH (h0)-[:authors]->"), std::string::npos);
+  EXPECT_NE(text.find("-[:publishedIn]->"), std::string::npos);
+  EXPECT_NE(text.find("RETURN DISTINCT"), std::string::npos);
+}
+
+TEST_F(TranslatorTest, CypherExpandsDisjunctionIntoUnion) {
+  RegularExpression expr;
+  expr.disjuncts = {{Symbol::Fwd(0), Symbol::Fwd(1)}, {Symbol::Fwd(3)}};
+  Query q;
+  QueryRule rule;
+  rule.head = {0, 1};
+  rule.body = {Conjunct{0, 1, expr}};
+  q.rules = {rule};
+  std::string text =
+      TranslateQuery(q, config_.schema, QueryLanguage::kOpenCypher)
+          .ValueOrDie();
+  EXPECT_NE(text.find("UNION"), std::string::npos);
+}
+
+TEST_F(TranslatorTest, SqlEmitsRecursiveCte) {
+  std::string text =
+      TranslateQuery(CoAuthorClosure(), config_.schema, QueryLanguage::kSql)
+          .ValueOrDie();
+  EXPECT_NE(text.find("WITH RECURSIVE"), std::string::npos);
+  EXPECT_NE(text.find("SELECT id AS src, id AS trg FROM node"),
+            std::string::npos);
+  // Linear recursion: the closure CTE joins itself with the base once.
+  EXPECT_NE(text.find("q_r0_c0_path p JOIN q_r0_c0_base b"),
+            std::string::npos);
+  EXPECT_NE(text.find("label = 'authors'"), std::string::npos);
+}
+
+TEST_F(TranslatorTest, SqlJoinsConjunctsOnSharedVariables) {
+  std::string text =
+      TranslateQuery(TwoConjunctChain(), config_.schema, QueryLanguage::kSql)
+          .ValueOrDie();
+  EXPECT_NE(text.find("j0.trg = j1.src"), std::string::npos);
+  EXPECT_NE(text.find("SELECT DISTINCT j0.src AS h0, j1.trg AS h1"),
+            std::string::npos);
+}
+
+TEST_F(TranslatorTest, SqlCountDistinct) {
+  TranslateOptions options;
+  options.count_distinct = true;
+  std::string text = TranslateQuery(TwoConjunctChain(), config_.schema,
+                                    QueryLanguage::kSql, options)
+                         .ValueOrDie();
+  EXPECT_NE(text.find("SELECT COUNT(*) AS cnt FROM ("), std::string::npos);
+}
+
+TEST_F(TranslatorTest, DatalogEmitsLinearRecursion) {
+  std::string text = TranslateQuery(CoAuthorClosure(), config_.schema,
+                                    QueryLanguage::kDatalog)
+                         .ValueOrDie();
+  EXPECT_NE(text.find("co_r0_c0(X, X) :- node(X)."), std::string::npos);
+  EXPECT_NE(text.find("co_r0_c0(X, Y) :- co_r0_c0(X, Z), co_r0_c0_base(Z, "
+                      "Y)."),
+            std::string::npos);
+  // Inverse symbols swap argument order.
+  EXPECT_NE(text.find("authors(X, T0_0), authors(Y, T0_0)"),
+            std::string::npos);
+}
+
+TEST_F(TranslatorTest, DatalogChainRule) {
+  std::string text = TranslateQuery(TwoConjunctChain(), config_.schema,
+                                    QueryLanguage::kDatalog)
+                         .ValueOrDie();
+  EXPECT_NE(
+      text.find("chain(H0, H1) :- chain_r0_c0(H0, R0X1), chain_r0_c1(R0X1, "
+                "H1)."),
+      std::string::npos);
+}
+
+TEST_F(TranslatorTest, FactoryAndNames) {
+  EXPECT_EQ(AllQueryLanguages().size(), 4u);
+  for (QueryLanguage lang : AllQueryLanguages()) {
+    auto t = MakeTranslator(lang);
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->language(), lang);
+    EXPECT_NE(QueryLanguageName(lang), std::string("?"));
+  }
+}
+
+// Every generated workload must translate into every syntax.
+struct TranslationCase {
+  UseCase use_case;
+  WorkloadPreset preset;
+};
+
+class WorkloadTranslationTest
+    : public ::testing::TestWithParam<TranslationCase> {};
+
+TEST_P(WorkloadTranslationTest, AllLanguagesTranslateAllQueries) {
+  GraphConfiguration config = MakeUseCase(GetParam().use_case, 10000);
+  QueryGenerator gen(&config.schema);
+  Workload workload =
+      gen.Generate(MakePresetWorkload(GetParam().preset, 12, 29))
+          .ValueOrDie();
+  TranslateOptions options;
+  options.count_distinct = true;
+  for (QueryLanguage lang : AllQueryLanguages()) {
+    for (const GeneratedQuery& gq : workload.queries) {
+      auto text = TranslateQuery(gq.query, config.schema, lang, options);
+      ASSERT_TRUE(text.ok())
+          << QueryLanguageName(lang) << ": " << text.status() << "\n"
+          << gq.query.ToString(config.schema);
+      EXPECT_FALSE(text->empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WorkloadTranslationTest,
+    ::testing::Values(TranslationCase{UseCase::kBib, WorkloadPreset::kCon},
+                      TranslationCase{UseCase::kBib, WorkloadPreset::kRec},
+                      TranslationCase{UseCase::kLsn, WorkloadPreset::kDis},
+                      TranslationCase{UseCase::kSp, WorkloadPreset::kRec},
+                      TranslationCase{UseCase::kWd, WorkloadPreset::kCon}),
+    [](const auto& info) {
+      return std::string(UseCaseName(info.param.use_case)) +
+             WorkloadPresetName(info.param.preset);
+    });
+
+}  // namespace
+}  // namespace gmark

@@ -1,0 +1,128 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace gmark {
+namespace {
+
+TEST(RandomTest, SameSeedSameStream) {
+  RandomEngine a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  RandomEngine a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformInt(0, 1000000) == b.UniformInt(0, 1000000)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+class UniformRangeTest : public ::testing::TestWithParam<
+                             std::pair<int64_t, int64_t>> {};
+
+TEST_P(UniformRangeTest, StaysInClosedInterval) {
+  auto [lo, hi] = GetParam();
+  RandomEngine rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, UniformRangeTest,
+    ::testing::Values(std::pair<int64_t, int64_t>{0, 0},
+                      std::pair<int64_t, int64_t>{0, 1},
+                      std::pair<int64_t, int64_t>{-5, 5},
+                      std::pair<int64_t, int64_t>{1, 1000000}));
+
+TEST(RandomTest, UniformIntDegenerateRangeReturnsLo) {
+  RandomEngine rng(7);
+  EXPECT_EQ(rng.UniformInt(3, 3), 3);
+  EXPECT_EQ(rng.UniformInt(5, 2), 5);  // Inverted range clamps to lo.
+}
+
+TEST(RandomTest, UniformMeanIsCentered) {
+  RandomEngine rng(42);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.UniformInt(0, 10));
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RandomTest, GaussianIntIsNonNegativeAndCentered) {
+  RandomEngine rng(42);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    int64_t v = rng.GaussianInt(3.0, 1.0);
+    EXPECT_GE(v, 0);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(RandomTest, GaussianNegativeMeanClampsAtZero) {
+  RandomEngine rng(42);
+  for (int i = 0; i < 100; ++i) EXPECT_GE(rng.GaussianInt(-5.0, 1.0), 0);
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  RandomEngine rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomTest, BernoulliFrequency) {
+  RandomEngine rng(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RandomTest, ShufflePreservesMultiset) {
+  RandomEngine rng(11);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  EXPECT_NE(shuffled, v);  // Astronomically unlikely to be identity.
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RandomTest, WeightedIndexRespectsWeights) {
+  RandomEngine rng(13);
+  std::vector<double> weights{0.0, 1.0, 3.0};
+  std::vector<int> hits(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    size_t idx = rng.WeightedIndex(weights);
+    ASSERT_LT(idx, weights.size());
+    ++hits[idx];
+  }
+  EXPECT_EQ(hits[0], 0);
+  EXPECT_NEAR(static_cast<double>(hits[1]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(hits[2]) / n, 0.75, 0.02);
+}
+
+TEST(RandomTest, WeightedIndexAllZeroReturnsSize) {
+  RandomEngine rng(13);
+  std::vector<double> weights{0.0, 0.0};
+  EXPECT_EQ(rng.WeightedIndex(weights), weights.size());
+  EXPECT_EQ(rng.WeightedIndex({}), 0u);
+}
+
+}  // namespace
+}  // namespace gmark

@@ -1,0 +1,89 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace gmark {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Unsupported("x").IsUnsupported());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  Status s = Status::Internal("boom");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "boom");
+  EXPECT_EQ(s.ToString(), "Internal: boom");
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status Chained(int x) {
+  GMARK_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(Chained(1).ok());
+  EXPECT_EQ(Chained(-1).code(), StatusCode::kOutOfRange);
+}
+
+Result<int> HalfOf(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterOf(int x) {
+  GMARK_ASSIGN_OR_RETURN(int half, HalfOf(x));
+  return HalfOf(half);
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> ok = HalfOf(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ValueOrDie(), 4);
+  EXPECT_EQ(*ok, 4);
+  EXPECT_TRUE(ok.status().ok());
+
+  Result<int> bad = HalfOf(3);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  EXPECT_EQ(bad.ValueOr(-7), -7);
+}
+
+TEST(ResultTest, AssignOrReturnMacroChains) {
+  EXPECT_EQ(QuarterOf(8).ValueOrDie(), 2);
+  EXPECT_FALSE(QuarterOf(6).ok());  // 6/2 = 3 is odd.
+  EXPECT_FALSE(QuarterOf(5).ok());
+}
+
+TEST(ResultTest, MoveOnlyTypesWork) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 5);
+}
+
+}  // namespace
+}  // namespace gmark

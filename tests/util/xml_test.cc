@@ -1,0 +1,100 @@
+#include "util/xml.h"
+
+#include <gtest/gtest.h>
+
+namespace gmark {
+namespace {
+
+TEST(XmlTest, ParsesSimpleElement) {
+  auto root = ParseXml("<a/>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->name(), "a");
+  EXPECT_TRUE(root->children().empty());
+}
+
+TEST(XmlTest, ParsesAttributes) {
+  auto root = ParseXml(R"(<a x="1" y='two'/>)");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->attr("x"), "1");
+  EXPECT_EQ(root->attr("y"), "two");
+  EXPECT_TRUE(root->has_attr("x"));
+  EXPECT_FALSE(root->has_attr("z"));
+  EXPECT_EQ(root->attr("z"), "");
+}
+
+TEST(XmlTest, ParsesNestedChildrenAndText) {
+  auto root = ParseXml("<a><b>hello</b><c/><b>world</b></a>");
+  ASSERT_TRUE(root.ok());
+  ASSERT_EQ(root->children().size(), 3u);
+  EXPECT_EQ(root->children()[0].text(), "hello");
+  auto bs = root->FindChildren("b");
+  ASSERT_EQ(bs.size(), 2u);
+  EXPECT_EQ(bs[1]->text(), "world");
+  EXPECT_NE(root->FindChild("c"), nullptr);
+  EXPECT_EQ(root->FindChild("missing"), nullptr);
+}
+
+TEST(XmlTest, SkipsPrologAndComments) {
+  auto root = ParseXml(
+      "<?xml version=\"1.0\"?>\n<!-- header -->\n"
+      "<a><!-- inner --><b/></a>\n<!-- trailer -->");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->name(), "a");
+  EXPECT_EQ(root->children().size(), 1u);
+}
+
+TEST(XmlTest, UnescapesEntities) {
+  auto root = ParseXml(R"(<a v="&lt;&amp;&gt;">x &quot;y&apos; z</a>)");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->attr("v"), "<&>");
+  EXPECT_EQ(root->text(), "x \"y' z");
+}
+
+TEST(XmlTest, EscapeProducesValidRoundTrip) {
+  XmlNode node("n");
+  node.set_attr("a", "x<y>&\"'");
+  node.set_text("5 < 6 & 7 > 2");
+  auto parsed = ParseXml(node.ToString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->attr("a"), "x<y>&\"'");
+  EXPECT_EQ(parsed->text(), "5 < 6 & 7 > 2");
+}
+
+TEST(XmlTest, SerializeParseRoundTripStructure) {
+  XmlNode root("gmark");
+  XmlNode& child = root.AddChild("graph");
+  child.set_attr("nodes", "100");
+  child.AddChild("types").AddChild("type").set_attr("name", "researcher");
+  auto parsed = ParseXml(root.ToString());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_NE(parsed->FindChild("graph"), nullptr);
+  EXPECT_EQ(parsed->FindChild("graph")->attr("nodes"), "100");
+  const XmlNode* types = parsed->FindChild("graph")->FindChild("types");
+  ASSERT_NE(types, nullptr);
+  EXPECT_EQ(types->children()[0].attr("name"), "researcher");
+}
+
+TEST(XmlTest, RejectsMismatchedTags) {
+  EXPECT_FALSE(ParseXml("<a><b></a></b>").ok());
+  EXPECT_FALSE(ParseXml("<a>").ok());
+  EXPECT_FALSE(ParseXml("<a></b>").ok());
+}
+
+TEST(XmlTest, RejectsMalformedAttributes) {
+  EXPECT_FALSE(ParseXml("<a x=1/>").ok());
+  EXPECT_FALSE(ParseXml("<a x=\"1/>").ok());
+  EXPECT_FALSE(ParseXml("<a x/>").ok());
+}
+
+TEST(XmlTest, RejectsTrailingContent) {
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());
+  EXPECT_FALSE(ParseXml("<a/>junk").ok());
+}
+
+TEST(XmlTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("   ").ok());
+}
+
+}  // namespace
+}  // namespace gmark

@@ -1,0 +1,124 @@
+#include "util/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace gmark {
+namespace {
+
+TEST(ZipfTest, SamplesStayInSupport) {
+  ZipfSampler sampler(2.5, 100);
+  RandomEngine rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = sampler.Sample(&rng);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 100);
+  }
+}
+
+TEST(ZipfTest, SupportOfOneAlwaysReturnsOne) {
+  ZipfSampler sampler(2.5, 1);
+  RandomEngine rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.Sample(&rng), 1);
+}
+
+TEST(ZipfTest, MaxBelowOneClampsToOne) {
+  ZipfSampler sampler(2.5, 0);
+  EXPECT_EQ(sampler.max(), 1);
+}
+
+TEST(ZipfTest, NonPositiveExponentClampsToOne) {
+  ZipfSampler sampler(-1.0, 10);
+  EXPECT_DOUBLE_EQ(sampler.exponent(), 1.0);
+}
+
+TEST(ZipfTest, DeterministicGivenSeed) {
+  ZipfSampler sampler(2.0, 1000);
+  RandomEngine a(7), b(7);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(sampler.Sample(&a), sampler.Sample(&b));
+  }
+}
+
+// The empirical frequency of value 1 must match p(1) = 1 / H(s, max).
+class ZipfFrequencyTest
+    : public ::testing::TestWithParam<std::pair<double, int64_t>> {};
+
+TEST_P(ZipfFrequencyTest, HeadProbabilityMatchesTheory) {
+  auto [s, max] = GetParam();
+  ZipfSampler sampler(s, max);
+  RandomEngine rng(17);
+  const int n = 60000;
+  int ones = 0;
+  for (int i = 0; i < n; ++i) {
+    if (sampler.Sample(&rng) == 1) ++ones;
+  }
+  double h = 0;
+  for (int64_t k = 1; k <= max; ++k) h += std::pow(k, -s);
+  double expected = 1.0 / h;
+  EXPECT_NEAR(static_cast<double>(ones) / n, expected, 0.02)
+      << "s=" << s << " max=" << max;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, ZipfFrequencyTest,
+    ::testing::Values(std::pair<double, int64_t>{2.5, 100},
+                      std::pair<double, int64_t>{2.0, 50},
+                      std::pair<double, int64_t>{1.5, 200},
+                      std::pair<double, int64_t>{1.0, 100},
+                      std::pair<double, int64_t>{3.0, 1000}));
+
+class ZipfMeanTest
+    : public ::testing::TestWithParam<std::pair<double, int64_t>> {};
+
+TEST_P(ZipfMeanTest, EmpiricalMeanMatchesMeanFunction) {
+  auto [s, max] = GetParam();
+  ZipfSampler sampler(s, max);
+  RandomEngine rng(23);
+  const int n = 80000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(sampler.Sample(&rng));
+  double mean = sum / n;
+  // Heavier tails need a looser tolerance.
+  double tolerance = s >= 2.0 ? 0.05 * sampler.Mean() + 0.02
+                              : 0.15 * sampler.Mean();
+  EXPECT_NEAR(mean, sampler.Mean(), tolerance) << "s=" << s << " max=" << max;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, ZipfMeanTest,
+    ::testing::Values(std::pair<double, int64_t>{2.5, 100},
+                      std::pair<double, int64_t>{2.5, 4096},
+                      std::pair<double, int64_t>{2.0, 1000},
+                      std::pair<double, int64_t>{1.0, 500}));
+
+TEST(ZipfTest, MeanIsMonotoneInSupportForHeavyTail) {
+  // Exponent 1 has a diverging mean: larger supports must give larger
+  // means (this property keeps fixed-type in-degrees consistent; see
+  // use_cases.cc).
+  ZipfSampler small(1.0, 100), large(1.0, 10000);
+  EXPECT_GT(large.Mean(), small.Mean() * 5);
+}
+
+TEST(ZipfTest, HubsExist) {
+  // With s=2.5 over a big support, some draw should exceed 10 (hubs).
+  ZipfSampler sampler(2.5, 100000);
+  RandomEngine rng(31);
+  int64_t max_seen = 0;
+  for (int i = 0; i < 50000; ++i) {
+    max_seen = std::max(max_seen, sampler.Sample(&rng));
+  }
+  EXPECT_GT(max_seen, 10);
+}
+
+TEST(ZipfTest, LargeSupportMeanUsesIntegralApproximation) {
+  // Cross-check the large-support path against the exact sum at the
+  // boundary (4096 uses summation; 8192 uses the integral).
+  ZipfSampler exact(2.5, 4096), approx(2.5, 8192);
+  EXPECT_NEAR(exact.Mean(), approx.Mean(), 0.05);
+}
+
+}  // namespace
+}  // namespace gmark

@@ -1,0 +1,237 @@
+#include "workload/query_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/use_cases.h"
+#include "selectivity/estimator.h"
+#include "workload/presets.h"
+
+namespace gmark {
+namespace {
+
+struct PresetCase {
+  UseCase use_case;
+  WorkloadPreset preset;
+};
+
+class PresetGenerationTest : public ::testing::TestWithParam<PresetCase> {};
+
+TEST_P(PresetGenerationTest, RespectsSizeAndClassConstraints) {
+  GraphConfiguration config = MakeUseCase(GetParam().use_case, 10000);
+  WorkloadConfiguration wconfig =
+      MakePresetWorkload(GetParam().preset, 12, 7);
+  QueryGenerator gen(&config.schema);
+  auto workload = gen.Generate(wconfig);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  EXPECT_GE(workload->queries.size() + workload->skipped.size(),
+            wconfig.num_queries);
+
+  std::map<QuerySelectivity, int> class_counts;
+  for (const GeneratedQuery& gq : workload->queries) {
+    ASSERT_TRUE(gq.query.Validate(config.schema).ok());
+    QuerySizeInfo info = MeasureQuery(gq.query);
+    EXPECT_GE(static_cast<int>(info.min_conjuncts),
+              wconfig.size.conjuncts.min);
+    EXPECT_LE(static_cast<int>(info.max_conjuncts),
+              wconfig.size.conjuncts.max);
+    EXPECT_LE(static_cast<int>(info.max_disjuncts),
+              wconfig.size.disjuncts.max);
+    EXPECT_GE(static_cast<int>(info.min_path_length),
+              wconfig.size.path_length.min);
+    EXPECT_LE(static_cast<int>(info.max_path_length),
+              wconfig.size.path_length.max);
+    EXPECT_EQ(gq.query.arity(), 2u);
+    ASSERT_TRUE(gq.target_class.has_value());
+    ++class_counts[*gq.target_class];
+    if (GetParam().preset != WorkloadPreset::kRec) {
+      EXPECT_FALSE(info.has_recursion);
+    }
+  }
+  // Classes cycle round-robin: each class appears for every complete
+  // round that was not skipped.
+  if (workload->skipped.empty()) {
+    EXPECT_EQ(class_counts[QuerySelectivity::kConstant], 4);
+    EXPECT_EQ(class_counts[QuerySelectivity::kLinear], 4);
+    EXPECT_EQ(class_counts[QuerySelectivity::kQuadratic], 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PresetGenerationTest,
+    ::testing::Values(PresetCase{UseCase::kBib, WorkloadPreset::kLen},
+                      PresetCase{UseCase::kBib, WorkloadPreset::kDis},
+                      PresetCase{UseCase::kBib, WorkloadPreset::kCon},
+                      PresetCase{UseCase::kBib, WorkloadPreset::kRec},
+                      PresetCase{UseCase::kLsn, WorkloadPreset::kLen},
+                      PresetCase{UseCase::kLsn, WorkloadPreset::kRec},
+                      PresetCase{UseCase::kSp, WorkloadPreset::kCon},
+                      PresetCase{UseCase::kSp, WorkloadPreset::kRec},
+                      PresetCase{UseCase::kWd, WorkloadPreset::kLen},
+                      PresetCase{UseCase::kWd, WorkloadPreset::kDis}),
+    [](const auto& info) {
+      return std::string(UseCaseName(info.param.use_case)) +
+             WorkloadPresetName(info.param.preset);
+    });
+
+TEST(QueryGeneratorTest, ControlledQueriesMatchEstimatedClass) {
+  // The static estimator must assign exactly the class the generator
+  // targeted (they share the algebra, but walk very different code).
+  GraphConfiguration config = MakeBibConfig(10000);
+  QueryGenerator gen(&config.schema);
+  SelectivityEstimator estimator(&config.schema);
+  for (WorkloadPreset preset :
+       {WorkloadPreset::kLen, WorkloadPreset::kDis, WorkloadPreset::kCon}) {
+    Workload workload =
+        gen.Generate(MakePresetWorkload(preset, 15, 3)).ValueOrDie();
+    for (const GeneratedQuery& gq : workload.queries) {
+      auto estimated = estimator.EstimateClass(gq.query);
+      ASSERT_TRUE(estimated.ok()) << estimated.status();
+      EXPECT_EQ(*estimated, *gq.target_class)
+          << WorkloadPresetName(preset) << "\n"
+          << gq.query.ToString(config.schema);
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, DeterministicGivenSeed) {
+  GraphConfiguration config = MakeBibConfig(10000);
+  QueryGenerator gen(&config.schema);
+  WorkloadConfiguration wconfig = MakePresetWorkload(WorkloadPreset::kCon);
+  Workload a = gen.Generate(wconfig).ValueOrDie();
+  Workload b = gen.Generate(wconfig).ValueOrDie();
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i].query, b.queries[i].query);
+  }
+  wconfig.seed = 999;
+  Workload c = gen.Generate(wconfig).ValueOrDie();
+  bool any_diff = c.queries.size() != a.queries.size();
+  for (size_t i = 0; !any_diff && i < a.queries.size(); ++i) {
+    any_diff = !(a.queries[i].query == c.queries[i].query);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(QueryGeneratorTest, RecursionProbabilityProducesStars) {
+  GraphConfiguration config = MakeBibConfig(10000);
+  QueryGenerator gen(&config.schema);
+  Workload workload =
+      gen.Generate(MakePresetWorkload(WorkloadPreset::kRec, 30, 11))
+          .ValueOrDie();
+  int with_star = 0;
+  for (const GeneratedQuery& gq : workload.queries) {
+    if (MeasureQuery(gq.query).has_recursion) ++with_star;
+  }
+  // pr = 0.6 per conjunct: a large fraction of queries must be
+  // recursive.
+  EXPECT_GT(with_star, static_cast<int>(workload.queries.size()) / 4);
+}
+
+class ShapeTest : public ::testing::TestWithParam<QueryShape> {};
+
+TEST_P(ShapeTest, FreeGenerationProducesRequestedShape) {
+  GraphConfiguration config = MakeLsnConfig(10000);
+  QueryGenerator gen(&config.schema);
+  WorkloadConfiguration wconfig;
+  wconfig.num_queries = 8;
+  wconfig.selectivity_control = false;
+  wconfig.shapes = {GetParam()};
+  wconfig.arity = IntRange::Between(0, 3);
+  wconfig.size.conjuncts = IntRange::Between(3, 4);
+  wconfig.size.disjuncts = IntRange::Between(1, 2);
+  wconfig.size.path_length = IntRange::Between(1, 3);
+  wconfig.seed = 19;
+  auto workload = gen.Generate(wconfig);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  ASSERT_FALSE(workload->queries.empty());
+  for (const GeneratedQuery& gq : workload->queries) {
+    EXPECT_EQ(gq.shape, GetParam());
+    EXPECT_FALSE(gq.target_class.has_value());
+    ASSERT_TRUE(gq.query.Validate(config.schema).ok())
+        << gq.query.ToString(config.schema);
+    const QueryRule& rule = gq.query.rules[0];
+    std::map<VarId, int> as_source;
+    for (const Conjunct& c : rule.body) ++as_source[c.source];
+    if (GetParam() == QueryShape::kStar) {
+      // One shared source variable for all conjuncts.
+      EXPECT_EQ(as_source.size(), 1u);
+      EXPECT_EQ(as_source.begin()->first, 0);
+    }
+    if (GetParam() == QueryShape::kChain) {
+      for (const auto& [var, count] : as_source) EXPECT_EQ(count, 1);
+    }
+    if (GetParam() == QueryShape::kCycle) {
+      // Cycles have no chain head: every source is also a target,
+      // except the shared origin which sources two chains.
+      EXPECT_EQ(as_source[0], 2);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ShapeTest,
+                         ::testing::Values(QueryShape::kChain,
+                                           QueryShape::kStar,
+                                           QueryShape::kCycle,
+                                           QueryShape::kStarChain),
+                         [](const auto& info) {
+                           return std::string(QueryShapeName(info.param));
+                         });
+
+TEST(QueryGeneratorTest, ArityRangeIsHonored) {
+  GraphConfiguration config = MakeBibConfig(10000);
+  QueryGenerator gen(&config.schema);
+  WorkloadConfiguration wconfig = MakePresetWorkload(WorkloadPreset::kCon, 9);
+  wconfig.arity = IntRange::Exactly(0);
+  Workload boolean_wl = gen.Generate(wconfig).ValueOrDie();
+  for (const GeneratedQuery& gq : boolean_wl.queries) {
+    EXPECT_EQ(gq.query.arity(), 0u);
+  }
+  wconfig.arity = IntRange::Exactly(3);
+  wconfig.size.conjuncts = IntRange::Between(2, 3);
+  Workload ternary = gen.Generate(wconfig).ValueOrDie();
+  for (const GeneratedQuery& gq : ternary.queries) {
+    EXPECT_EQ(gq.query.arity(), 3u);
+  }
+}
+
+TEST(QueryGeneratorTest, InfeasibleClassIsSkippedWithDiagnostics) {
+  // A bounded-uniform one-type schema cannot express quadratic or
+  // constant chains; the generator must skip them, not hang or lie.
+  GraphConfiguration config;
+  config.num_nodes = 100;
+  ASSERT_TRUE(
+      config.schema.AddType("t", OccurrenceConstraint::Proportion(1.0)).ok());
+  ASSERT_TRUE(config.schema.AddPredicate("p").ok());
+  ASSERT_TRUE(config.schema
+                  .AddEdgeConstraintByName("t", "p", "t",
+                                           DistributionSpec::Uniform(1, 2),
+                                           DistributionSpec::Uniform(1, 2))
+                  .ok());
+  QueryGenerator gen(&config.schema);
+  WorkloadConfiguration wconfig = MakePresetWorkload(WorkloadPreset::kLen, 9);
+  auto workload = gen.Generate(wconfig);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  EXPECT_EQ(workload->queries.size(), 3u);  // Only the linear third.
+  EXPECT_EQ(workload->skipped.size(), 6u);
+  for (const GeneratedQuery& gq : workload->queries) {
+    EXPECT_EQ(*gq.target_class, QuerySelectivity::kLinear);
+  }
+}
+
+TEST(QueryGeneratorTest, MultiRuleQueriesShareArity) {
+  GraphConfiguration config = MakeBibConfig(10000);
+  QueryGenerator gen(&config.schema);
+  WorkloadConfiguration wconfig = MakePresetWorkload(WorkloadPreset::kCon, 6);
+  wconfig.size.rules = IntRange::Exactly(2);
+  Workload workload = gen.Generate(wconfig).ValueOrDie();
+  for (const GeneratedQuery& gq : workload.queries) {
+    ASSERT_EQ(gq.query.rules.size(), 2u);
+    EXPECT_EQ(gq.query.rules[0].arity(), gq.query.rules[1].arity());
+    EXPECT_TRUE(gq.query.Validate(config.schema).ok());
+  }
+}
+
+}  // namespace
+}  // namespace gmark
