@@ -8,6 +8,7 @@
 //             [-o <dir>]                   write per-language query files
 //             [-n <nodes>]                 override the graph size
 //             [--use-case Bib|LSN|SP|WD]   built-in config instead of -c
+//             [--threads <k>]              parallel generation (0 = all cores)
 //             [--stats]                    print instance statistics
 //
 // Example:
@@ -25,6 +26,7 @@
 #include "core/use_cases.h"
 #include "graph/generator.h"
 #include "graph/graph_io.h"
+#include "parallel/parallel_generator.h"
 #include "graph/stats.h"
 #include "query/query_xml.h"
 #include "util/string_util.h"
@@ -41,7 +43,7 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s (-c config.xml | --use-case NAME) [-n nodes]\n"
       "          [-w workload-config.xml] [-g graph.nt] [-q workload.xml]\n"
-      "          [-o query-dir] [--stats]\n",
+      "          [-o query-dir] [--threads k] [--stats]\n",
       argv0);
   return 2;
 }
@@ -53,6 +55,9 @@ int main(int argc, char** argv) {
       use_case;
   int64_t nodes_override = -1;
   bool stats = false;
+  // -1 = flag absent: keep the serial generator (and its edge stream);
+  // any explicit value routes generation through src/parallel/.
+  int threads = -1;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -77,6 +82,12 @@ int main(int argc, char** argv) {
       nodes_override = parsed.ValueOrDie();
     } else if (arg == "--use-case") {
       if (const char* v = next()) use_case = v; else return Usage(argv[0]);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      auto parsed = ParseInt(v);
+      if (!parsed.ok() || parsed.ValueOrDie() < 0) return Usage(argv[0]);
+      threads = static_cast<int>(parsed.ValueOrDie());
     } else if (arg == "--stats") {
       stats = true;
     } else {
@@ -125,7 +136,14 @@ int main(int argc, char** argv) {
       return 1;
     }
     NTriplesSink sink(&out, &config.schema);
-    Status st = GenerateEdges(config, &sink);
+    GeneratorOptions options;
+    Status st;
+    if (threads >= 0) {
+      options.num_threads = threads;
+      st = ParallelGenerateEdges(config, &sink, options);
+    } else {
+      st = GenerateEdges(config, &sink, options);
+    }
     if (!st.ok()) {
       std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
       return 1;
@@ -134,7 +152,14 @@ int main(int argc, char** argv) {
                 graph_out.c_str());
   }
   if (stats) {
-    auto graph = GenerateGraph(config);
+    GeneratorOptions options;
+    Result<Graph> graph = [&] {
+      if (threads >= 0) {
+        options.num_threads = threads;
+        return ParallelGenerateGraph(config, options);
+      }
+      return GenerateGraph(config, options);
+    }();
     if (graph.ok()) {
       std::printf("%s", ComputeStats(*graph).ToString(config.schema).c_str());
     }

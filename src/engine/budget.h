@@ -49,6 +49,13 @@ class BudgetTracker {
     tuples_ = count > tuples_ ? 0 : tuples_ - count;
   }
 
+  /// \brief Account for tuples *scanned* (not materialized), e.g. the
+  /// per-round rescans of fixpoint iteration. Monotone and purely
+  /// observational: it never trips the budget, it exists so cost
+  /// asymmetries between strategies (naive vs semi-naive, Table 4) are
+  /// measurable deterministically.
+  void ChargeScan(size_t count) { scanned_ += count; }
+
   /// \brief Check the wall-clock limit (call periodically).
   Status CheckTime() const {
     if (timer_.ElapsedSeconds() > budget_.timeout_seconds) {
@@ -58,12 +65,14 @@ class BudgetTracker {
   }
 
   size_t tuples_used() const { return tuples_; }
+  size_t tuples_scanned() const { return scanned_; }
   double elapsed_seconds() const { return timer_.ElapsedSeconds(); }
 
  private:
   ResourceBudget budget_;
   WallTimer timer_;
   size_t tuples_ = 0;
+  size_t scanned_ = 0;
 };
 
 }  // namespace gmark

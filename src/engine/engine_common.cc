@@ -90,6 +90,7 @@ Result<NodePairs> ClosureNaive(const Graph& graph, const NodePairs& base,
     grew = false;
     GMARK_RETURN_NOT_OK(budget->CheckTime());
     // Naive: rescan the ENTIRE accumulated relation every round.
+    budget->ChargeScan(result.size());
     NodePairs additions;
     for (const auto& [x, mid] : result) {
       auto range = base_by_src.equal_range(mid);
@@ -137,6 +138,7 @@ Result<NodePairs> ClosureSemiNaive(const Graph& graph, const NodePairs& base,
     GMARK_RETURN_NOT_OK(budget->CheckTime());
     NodePairs next_delta;
     // Semi-naive: only the delta is extended.
+    budget->ChargeScan(delta.size());
     for (const auto& [x, mid] : delta) {
       auto range = base_by_src.equal_range(mid);
       for (auto it = range.first; it != range.second; ++it) {

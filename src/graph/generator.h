@@ -58,6 +58,17 @@ struct GeneratorOptions {
   /// statistically indistinguishable from uniform slot assignment).
   /// Ablation: bench/ablation_gaussian_fastpath.
   bool gaussian_fast_path = true;
+
+  /// Worker threads for the parallel generator (src/parallel/). 0 means
+  /// "use hardware concurrency"; 1 runs the parallel algorithm inline
+  /// on the calling thread. Ignored by the serial GenerateEdges path.
+  int num_threads = 1;
+
+  /// Nodes (slot building) or edges (emission) per parallel task. The
+  /// output of the parallel generator is a function of (seed,
+  /// chunk_size) and is independent of num_threads; constraints smaller
+  /// than one chunk degenerate to a single task, i.e. the serial path.
+  int64_t chunk_size = 1 << 16;
 };
 
 /// \brief Run the Fig. 5 algorithm, streaming edges into `sink`.
@@ -67,6 +78,56 @@ Status GenerateEdges(const GraphConfiguration& config, EdgeSink* sink,
 /// \brief Convenience: generate and index a full in-memory graph.
 Result<Graph> GenerateGraph(const GraphConfiguration& config,
                             const GeneratorOptions& options = {});
+
+namespace internal {
+
+/// Local node index within one type; uint32 keeps slot vectors compact
+/// (100M-node scalability runs would need 1.6GB with 64-bit slots).
+using SlotIndex = uint32_t;
+
+/// \brief Per-constraint decisions shared by the serial and parallel
+/// generators: endpoint geometry, which sides materialize slot vectors,
+/// and the expected slot counts of implicit-but-specified sides.
+struct ConstraintPlan {
+  int64_t n_src = 0;
+  int64_t n_trg = 0;
+  NodeId src_base = 0;
+  NodeId trg_base = 0;
+  /// A side is implicit when it is non-specified (uniform sampling is
+  /// its definition) or Gaussian under the fast path; implicit sides
+  /// are sampled per edge instead of materialized.
+  bool out_implicit = true;
+  bool in_implicit = true;
+  /// Expected slot counts of implicit-but-specified sides; -1 when the
+  /// side does not constrain the edge count.
+  int64_t expected_out_slots = -1;
+  int64_t expected_in_slots = -1;
+
+  bool empty() const { return n_src == 0 || n_trg == 0; }
+};
+
+/// \brief Compute the plan for one constraint (fails if a materialized
+/// side exceeds the SlotIndex range).
+Result<ConstraintPlan> PlanConstraint(const EdgeConstraint& c,
+                                      const NodeLayout& layout,
+                                      const GeneratorOptions& options);
+
+/// \brief Line 8 of Fig. 5: resolve the emitted edge count from the two
+/// slot counts (-1 = side does not constrain), falling back to the
+/// predicate occurrence constraint when neither side does.
+Result<int64_t> ResolveEdgeCount(const EdgeConstraint& c,
+                                 const GraphSchema& schema,
+                                 const NodeLayout& layout, int64_t out_slots,
+                                 int64_t in_slots);
+
+/// \brief Append to `slots` each local index j in [lo, hi) repeated
+/// draw(dist) times. The serial path calls it with [0, node_count); the
+/// parallel path calls it once per chunk with a chunk-derived RNG.
+Status BuildSlotRange(const DistributionSpec& dist, int64_t lo, int64_t hi,
+                      int64_t support_max, RandomEngine* rng,
+                      std::vector<SlotIndex>* slots);
+
+}  // namespace internal
 
 }  // namespace gmark
 

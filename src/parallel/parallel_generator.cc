@@ -1,0 +1,270 @@
+#include "parallel/parallel_generator.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "parallel/sharded_sink.h"
+#include "parallel/thread_pool.h"
+#include "util/random.h"
+
+namespace gmark {
+
+namespace {
+
+using internal::ConstraintPlan;
+using internal::SlotIndex;
+
+// RNG stream phases within one constraint. Each (constraint, phase,
+// chunk) triple owns an independent SplitMix64-derived stream.
+enum StreamPhase : uint64_t {
+  kPhaseOutSlots = 0,
+  kPhaseInSlots = 1,
+  kPhaseOutShuffle = 2,
+  kPhaseInShuffle = 3,
+  kPhaseEmit = 4,
+};
+
+int64_t NumChunks(int64_t total, int64_t chunk_size) {
+  if (total <= 0) return 0;
+  return (total + chunk_size - 1) / chunk_size;
+}
+
+/// Runs closures on a pool, or inline when only one thread is asked
+/// for — same results either way, since tasks are order-independent.
+class Executor {
+ public:
+  explicit Executor(int num_threads) {
+    if (num_threads > 1) pool_.emplace(num_threads);
+  }
+  void Submit(std::function<void()> task) {
+    if (pool_.has_value()) {
+      pool_->Submit(std::move(task));
+    } else {
+      task();
+    }
+  }
+  void Wait() {
+    if (pool_.has_value()) pool_->Wait();
+  }
+
+ private:
+  std::optional<ThreadPool> pool_;
+};
+
+/// One materialized side of one constraint: chunk build results, the
+/// concatenated+shuffled slot vector, and per-chunk error slots.
+struct SideBuild {
+  size_t constraint_index = 0;
+  const DistributionSpec* dist = nullptr;
+  int64_t node_count = 0;
+  int64_t support_max = 0;
+  uint64_t slots_phase = kPhaseOutSlots;
+  uint64_t shuffle_phase = kPhaseOutShuffle;
+  std::vector<std::vector<SlotIndex>> chunks;
+  std::vector<Status> chunk_status;
+  std::vector<SlotIndex> slots;
+};
+
+/// The full parallel run: three barrier phases (build, shuffle, emit),
+/// each fanning out over every constraint at once so cross-constraint
+/// and intra-constraint parallelism compose.
+Status GenerateShards(const GraphConfiguration& config,
+                      const GeneratorOptions& options, ShardedSink* out) {
+  GMARK_ASSIGN_OR_RETURN(NodeLayout layout, NodeLayout::Create(config));
+  const auto& constraints = config.schema.edge_constraints();
+  const int64_t chunk_size = options.chunk_size < 1 ? 1 : options.chunk_size;
+  const uint64_t seed = config.seed;
+
+  std::vector<ConstraintPlan> plans;
+  plans.reserve(constraints.size());
+  for (const EdgeConstraint& c : constraints) {
+    GMARK_ASSIGN_OR_RETURN(ConstraintPlan plan,
+                           internal::PlanConstraint(c, layout, options));
+    plans.push_back(plan);
+  }
+
+  const int num_threads = options.num_threads == 0
+                              ? ThreadPool::DefaultThreads()
+                              : options.num_threads;
+  Executor executor(num_threads);
+
+  // Phase 1 — build slot vectors, chunked over node ranges. Chunk k of
+  // a side draws its nodes' degrees from the stream (ci, side, k), so
+  // the result depends on chunk boundaries but never on scheduling.
+  std::vector<std::unique_ptr<SideBuild>> builds;
+  for (size_t ci = 0; ci < constraints.size(); ++ci) {
+    const ConstraintPlan& plan = plans[ci];
+    if (plan.empty()) continue;
+    if (!plan.out_implicit) {
+      auto side = std::make_unique<SideBuild>();
+      side->constraint_index = ci;
+      side->dist = &constraints[ci].out_dist;
+      side->node_count = plan.n_src;
+      side->support_max = plan.n_trg;
+      side->slots_phase = kPhaseOutSlots;
+      side->shuffle_phase = kPhaseOutShuffle;
+      builds.push_back(std::move(side));
+    }
+    if (!plan.in_implicit) {
+      auto side = std::make_unique<SideBuild>();
+      side->constraint_index = ci;
+      side->dist = &constraints[ci].in_dist;
+      side->node_count = plan.n_trg;
+      side->support_max = plan.n_src;
+      side->slots_phase = kPhaseInSlots;
+      side->shuffle_phase = kPhaseInShuffle;
+      builds.push_back(std::move(side));
+    }
+  }
+  for (auto& side_ptr : builds) {
+    SideBuild* side = side_ptr.get();
+    const int64_t n_chunks = NumChunks(side->node_count, chunk_size);
+    side->chunks.resize(static_cast<size_t>(n_chunks));
+    side->chunk_status.assign(static_cast<size_t>(n_chunks), Status::OK());
+    for (int64_t k = 0; k < n_chunks; ++k) {
+      executor.Submit([side, k, chunk_size, seed] {
+        const int64_t lo = k * chunk_size;
+        const int64_t hi = std::min(lo + chunk_size, side->node_count);
+        RandomEngine rng(DeriveSeed(seed, side->constraint_index,
+                                    side->slots_phase,
+                                    static_cast<uint64_t>(k)));
+        side->chunk_status[static_cast<size_t>(k)] = internal::BuildSlotRange(
+            *side->dist, lo, hi, side->support_max, &rng,
+            &side->chunks[static_cast<size_t>(k)]);
+      });
+    }
+  }
+  executor.Wait();
+  for (const auto& side : builds) {
+    for (const Status& st : side->chunk_status) {
+      GMARK_RETURN_NOT_OK(st);
+    }
+  }
+
+  // Phase 2 — concatenate chunks in chunk order and shuffle each side
+  // with its own stream. One task per materialized side: the shuffle is
+  // inherently a global permutation, but sides of different constraints
+  // shuffle concurrently.
+  for (auto& side_ptr : builds) {
+    SideBuild* side = side_ptr.get();
+    executor.Submit([side, seed] {
+      size_t total = 0;
+      for (const auto& chunk : side->chunks) total += chunk.size();
+      side->slots.reserve(total);
+      for (auto& chunk : side->chunks) {
+        side->slots.insert(side->slots.end(), chunk.begin(), chunk.end());
+        // Free each chunk as it is absorbed: holding all chunks until
+        // the end would double peak memory on the generator's largest
+        // data structure.
+        chunk = {};
+      }
+      side->chunks.clear();
+      side->chunks.shrink_to_fit();
+      RandomEngine rng(
+          DeriveSeed(seed, side->constraint_index, side->shuffle_phase, 0));
+      rng.Shuffle(&side->slots);
+    });
+  }
+  executor.Wait();
+
+  // Index the shuffled sides back to their constraints.
+  std::vector<const std::vector<SlotIndex>*> out_slots_of(constraints.size(),
+                                                          nullptr);
+  std::vector<const std::vector<SlotIndex>*> in_slots_of(constraints.size(),
+                                                         nullptr);
+  for (const auto& side : builds) {
+    if (side->slots_phase == kPhaseOutSlots) {
+      out_slots_of[side->constraint_index] = &side->slots;
+    } else {
+      in_slots_of[side->constraint_index] = &side->slots;
+    }
+  }
+
+  // Phase 3 — resolve edge counts, then emit chunked over the edge
+  // index space into canonically numbered shards. Implicit sides draw
+  // from the (ci, kPhaseEmit, chunk) stream; materialized sides are
+  // pure array reads, so a chunk's output depends only on its range.
+  std::vector<int64_t> edge_counts(constraints.size(), 0);
+  std::vector<size_t> shard_base(constraints.size(), 0);
+  size_t total_shards = 0;
+  for (size_t ci = 0; ci < constraints.size(); ++ci) {
+    const ConstraintPlan& plan = plans[ci];
+    if (plan.empty()) continue;
+    const int64_t out_slots =
+        out_slots_of[ci] ? static_cast<int64_t>(out_slots_of[ci]->size())
+                         : plan.expected_out_slots;
+    const int64_t in_slots =
+        in_slots_of[ci] ? static_cast<int64_t>(in_slots_of[ci]->size())
+                        : plan.expected_in_slots;
+    GMARK_ASSIGN_OR_RETURN(
+        edge_counts[ci],
+        internal::ResolveEdgeCount(constraints[ci], config.schema, layout,
+                                   out_slots, in_slots));
+    shard_base[ci] = total_shards;
+    total_shards += static_cast<size_t>(NumChunks(edge_counts[ci],
+                                                  chunk_size));
+  }
+  out->Reset(total_shards);
+
+  for (size_t ci = 0; ci < constraints.size(); ++ci) {
+    const ConstraintPlan& plan = plans[ci];
+    const int64_t edges = edge_counts[ci];
+    if (plan.empty() || edges == 0) continue;
+    const EdgeConstraint& c = constraints[ci];
+    const std::vector<SlotIndex>* vsrc = out_slots_of[ci];
+    const std::vector<SlotIndex>* vtrg = in_slots_of[ci];
+    const int64_t n_chunks = NumChunks(edges, chunk_size);
+    for (int64_t k = 0; k < n_chunks; ++k) {
+      std::vector<Edge>* shard =
+          &out->shard(shard_base[ci] + static_cast<size_t>(k));
+      executor.Submit([&c, &plan, vsrc, vtrg, shard, ci, k, edges, chunk_size,
+                       seed] {
+        const int64_t lo = k * chunk_size;
+        const int64_t hi = std::min(lo + chunk_size, edges);
+        RandomEngine rng(
+            DeriveSeed(seed, ci, kPhaseEmit, static_cast<uint64_t>(k)));
+        shard->reserve(static_cast<size_t>(hi - lo));
+        for (int64_t i = lo; i < hi; ++i) {
+          SlotIndex s =
+              plan.out_implicit
+                  ? static_cast<SlotIndex>(rng.UniformInt(0, plan.n_src - 1))
+                  : (*vsrc)[static_cast<size_t>(i)];
+          SlotIndex t =
+              plan.in_implicit
+                  ? static_cast<SlotIndex>(rng.UniformInt(0, plan.n_trg - 1))
+                  : (*vtrg)[static_cast<size_t>(i)];
+          shard->push_back(Edge{plan.src_base + s, c.predicate,
+                                plan.trg_base + t});
+        }
+      });
+    }
+  }
+  executor.Wait();
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ParallelGenerateEdges(const GraphConfiguration& config, EdgeSink* sink,
+                             const GeneratorOptions& options) {
+  ShardedSink shards;
+  GMARK_RETURN_NOT_OK(GenerateShards(config, options, &shards));
+  shards.Drain(sink);
+  return Status::OK();
+}
+
+Result<Graph> ParallelGenerateGraph(const GraphConfiguration& config,
+                                    const GeneratorOptions& options) {
+  GMARK_ASSIGN_OR_RETURN(NodeLayout layout, NodeLayout::Create(config));
+  ShardedSink shards;
+  GMARK_RETURN_NOT_OK(GenerateShards(config, options, &shards));
+  return Graph::Build(std::move(layout), config.schema.predicate_count(),
+                      shards.TakeEdges());
+}
+
+}  // namespace gmark

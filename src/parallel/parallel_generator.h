@@ -1,0 +1,47 @@
+// Deterministic parallel version of the Fig. 5 graph generator.
+//
+// The serial generator threads one RandomEngine through every
+// constraint, which serializes the whole run. Here each unit of work —
+// one slot-vector chunk, one shuffle, one edge-emission chunk — derives
+// its own RNG stream from the config seed and its *logical* coordinates
+// (constraint index, phase, chunk index) via SplitMix64 (util/random.h).
+// Work units share no mutable state: slot chunks build private vectors,
+// emission chunks write private ShardedSink shards, and results are
+// concatenated in canonical (constraint, chunk) order. The output is
+// therefore a pure function of (config, chunk_size) and is bit-for-bit
+// identical at any thread count, including 1.
+//
+// This soundly parallelizes the paper's algorithm because constraint
+// draws are statistically independent (§4); chunking a degree
+// distribution across node ranges preserves it exactly (i.i.d. draws),
+// and the global shuffle of each materialized side runs as its own
+// single task between the build and emission phases.
+//
+// Note the parallel path does NOT reproduce the serial GenerateEdges
+// stream for the same seed (the draws are partitioned differently); it
+// reproduces *itself* across thread counts, which is the property the
+// determinism tests pin down.
+
+#ifndef GMARK_PARALLEL_PARALLEL_GENERATOR_H_
+#define GMARK_PARALLEL_PARALLEL_GENERATOR_H_
+
+#include "core/graph_config.h"
+#include "graph/generator.h"
+#include "graph/graph.h"
+#include "util/result.h"
+
+namespace gmark {
+
+/// \brief Parallel Fig. 5: generate all edges with
+/// options.num_threads workers (0 = hardware concurrency) and stream
+/// them into `sink` in canonical order on the calling thread.
+Status ParallelGenerateEdges(const GraphConfiguration& config, EdgeSink* sink,
+                             const GeneratorOptions& options = {});
+
+/// \brief Parallel generation of a fully indexed in-memory graph.
+Result<Graph> ParallelGenerateGraph(const GraphConfiguration& config,
+                                    const GeneratorOptions& options = {});
+
+}  // namespace gmark
+
+#endif  // GMARK_PARALLEL_PARALLEL_GENERATOR_H_

@@ -1,0 +1,33 @@
+#include "parallel/sharded_sink.h"
+
+#include <utility>
+
+namespace gmark {
+
+size_t ShardedSink::TotalEdges() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard.size();
+  return total;
+}
+
+void ShardedSink::Drain(EdgeSink* out) const {
+  for (const auto& shard : shards_) {
+    for (const Edge& e : shard) {
+      out->Append(e.source, e.predicate, e.target);
+    }
+  }
+}
+
+std::vector<Edge> ShardedSink::TakeEdges() {
+  std::vector<Edge> all;
+  all.reserve(TotalEdges());
+  for (auto& shard : shards_) {
+    all.insert(all.end(), shard.begin(), shard.end());
+    shard.clear();
+    shard.shrink_to_fit();
+  }
+  shards_.clear();
+  return all;
+}
+
+}  // namespace gmark

@@ -1,0 +1,54 @@
+// Lock-free edge collection for the parallel generator.
+//
+// Each emission task owns one shard — a private std::vector<Edge> it
+// appends to with no synchronization. Shards are numbered in canonical
+// (constraint, chunk) order before any task runs, so concatenating them
+// by index reproduces one well-defined edge order regardless of which
+// thread ran which task or in what order tasks finished. Determinism
+// therefore costs nothing on the hot path: the only synchronization in
+// the whole sink is the up-front Reset and the final concatenation,
+// both of which happen outside the parallel region.
+
+#ifndef GMARK_PARALLEL_SHARDED_SINK_H_
+#define GMARK_PARALLEL_SHARDED_SINK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/generator.h"
+#include "graph/graph.h"
+
+namespace gmark {
+
+/// \brief Per-task edge buffers, concatenated in canonical shard order.
+class ShardedSink {
+ public:
+  /// \brief Discard all edges and size the sink to `shard_count` empty
+  /// shards. Must be called before tasks run; never during.
+  void Reset(size_t shard_count) {
+    shards_.assign(shard_count, {});
+  }
+
+  /// \brief The buffer owned by shard `index`. Distinct indices may be
+  /// written concurrently; one index must only be written by one task.
+  std::vector<Edge>& shard(size_t index) { return shards_[index]; }
+
+  size_t shard_count() const { return shards_.size(); }
+
+  /// \brief Total edges across all shards.
+  size_t TotalEdges() const;
+
+  /// \brief Stream every edge into `out` in canonical shard order.
+  void Drain(EdgeSink* out) const;
+
+  /// \brief Concatenate all shards into one vector (canonical order),
+  /// leaving the sink empty.
+  std::vector<Edge> TakeEdges();
+
+ private:
+  std::vector<std::vector<Edge>> shards_;
+};
+
+}  // namespace gmark
+
+#endif  // GMARK_PARALLEL_SHARDED_SINK_H_

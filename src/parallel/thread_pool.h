@@ -1,0 +1,61 @@
+// Fixed-size worker pool for the parallel graph generator.
+//
+// Deliberately minimal: a single FIFO queue, no work stealing, no task
+// priorities. The generator's tasks are coarse (one slot-vector chunk
+// or one edge-emission chunk each, ~chunk_size elements), so a shared
+// queue is contended only at task granularity, never per element — the
+// simplicity buys determinism-friendly reasoning at negligible cost.
+
+#ifndef GMARK_PARALLEL_THREAD_POOL_H_
+#define GMARK_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gmark {
+
+/// \brief A fixed set of workers draining one task queue.
+///
+/// Tasks must not Submit new tasks from within the pool (no nesting):
+/// the generator's phase structure never needs it, and forbidding it
+/// rules out the classic bounded-worker deadlock.
+class ThreadPool {
+ public:
+  /// \brief Spawn `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Enqueue a task. Thread-safe, but see the nesting caveat.
+  void Submit(std::function<void()> task);
+
+  /// \brief Block until every submitted task has finished running.
+  void Wait();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// \brief std::thread::hardware_concurrency with a floor of 1.
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signaled when work arrives / stop
+  std::condition_variable idle_cv_;  // signaled when in_flight_ hits 0
+  size_t in_flight_ = 0;             // queued + currently running tasks
+  bool stop_ = false;
+};
+
+}  // namespace gmark
+
+#endif  // GMARK_PARALLEL_THREAD_POOL_H_

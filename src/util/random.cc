@@ -2,6 +2,23 @@
 
 namespace gmark {
 
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t DeriveSeed(uint64_t root, uint64_t a, uint64_t b, uint64_t c) {
+  // Chain one mixing step per coordinate; each step is bijective, so
+  // distinct (root, a, b, c) tuples cannot collide by construction
+  // within a chain, and the avalanche makes cross-chain collisions no
+  // more likely than random.
+  uint64_t s = SplitMix64(root ^ SplitMix64(a));
+  s = SplitMix64(s ^ SplitMix64(b));
+  return SplitMix64(s ^ SplitMix64(c));
+}
+
 size_t RandomEngine::WeightedIndex(const std::vector<double>& weights) {
   double total = 0.0;
   for (double w : weights) total += w;

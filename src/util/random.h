@@ -12,6 +12,21 @@
 
 namespace gmark {
 
+/// \brief SplitMix64 mixing step: a bijective avalanche over uint64.
+///
+/// Used to derive statistically independent child seeds from a root
+/// seed plus logical coordinates (constraint index, phase, chunk
+/// index). Because the derivation depends only on *logical* position —
+/// never on thread ids or execution order — any partition of the work
+/// reproduces the same streams, which is what makes parallel generation
+/// bit-for-bit deterministic (see src/parallel/).
+uint64_t SplitMix64(uint64_t x);
+
+/// \brief Child seed for the task at logical coordinates (a, b, c)
+/// under `root`. Distinct coordinates give independent streams.
+uint64_t DeriveSeed(uint64_t root, uint64_t a, uint64_t b = 0,
+                    uint64_t c = 0);
+
 /// \brief Deterministic pseudo-random source shared by all generators.
 ///
 /// Thin wrapper over std::mt19937_64 exposing exactly the draw shapes

@@ -124,15 +124,13 @@ TEST(EngineCommonTest, SemiNaiveChargesFewerTuplesThanNaive) {
   DedupPairs(&base);
   BudgetTracker naive_budget(ResourceBudget::Unlimited());
   BudgetTracker semi_budget(ResourceBudget::Unlimited());
-  WallTimer naive_timer;
   ASSERT_TRUE(ClosureNaive(g, base, &naive_budget).ok());
-  double naive_time = naive_timer.ElapsedSeconds();
-  WallTimer semi_timer;
   ASSERT_TRUE(ClosureSemiNaive(g, base, &semi_budget).ok());
-  double semi_time = semi_timer.ElapsedSeconds();
-  // Tuple *output* is identical; wall time favors semi-naive. Use a
-  // generous factor to keep the test robust on loaded machines.
-  EXPECT_LT(semi_time, naive_time * 1.5);
+  // Tuple *output* is identical; the scan work is what differs: naive
+  // rescans the whole accumulated relation every round, semi-naive only
+  // the delta. Scan counts are deterministic, unlike the wall-clock
+  // comparison this test originally made (flaky on loaded machines).
+  EXPECT_LT(semi_budget.tuples_scanned(), naive_budget.tuples_scanned());
 }
 
 TEST(EngineCommonTest, ClosureRespectsBudget) {
