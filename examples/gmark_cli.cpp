@@ -3,12 +3,20 @@
 //
 //   gmark_cli -c <graph-config.xml>        graph configuration (input)
 //             [-w <workload-config.xml>]   workload configuration
-//             [-g <graph.nt>]              write the instance (N-triples)
+//             [-g <graph.out>]             write the instance
+//             [--format nt|csv]            instance format (default nt)
 //             [-q <workload.xml>]          write UCRPQs as XML
 //             [-o <dir>]                   write per-language query files
 //             [-n <nodes>]                 override the graph size
 //             [--use-case Bib|LSN|SP|WD]   built-in config instead of -c
 //             [--threads <k>]              parallel generation (0 = all cores)
+//             [--spill-dir <dir>]          stream edge shards through per-shard
+//                                          temp files under <dir> instead of
+//                                          holding the edge set in memory
+//                                          (implies the parallel generator)
+//             [--spill-threshold <bytes>]  only spill when the edge set
+//                                          exceeds <bytes> (default with
+//                                          --spill-dir: 0 = always spill)
 //             [--stats]                    print instance statistics
 //
 // Example:
@@ -19,6 +27,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <string>
 
 #include "core/config_xml.h"
@@ -42,8 +51,16 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s (-c config.xml | --use-case NAME) [-n nodes]\n"
-      "          [-w workload-config.xml] [-g graph.nt] [-q workload.xml]\n"
-      "          [-o query-dir] [--threads k] [--stats]\n",
+      "          [-w workload-config.xml] [-g graph.out] [--format nt|csv]\n"
+      "          [-q workload.xml] [-o query-dir] [--threads k]\n"
+      "          [--spill-dir DIR] [--spill-threshold BYTES] [--stats]\n"
+      "\n"
+      "  --spill-dir DIR        stream edge shards through per-shard temp\n"
+      "                         files under DIR (bounded memory; implies\n"
+      "                         the parallel generator)\n"
+      "  --spill-threshold N    spill only when the edge set exceeds N\n"
+      "                         bytes (with --spill-dir the default is 0,\n"
+      "                         i.e. always spill)\n",
       argv0);
   return 2;
 }
@@ -53,10 +70,14 @@ int Usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string config_path, workload_path, graph_out, queries_out, out_dir,
       use_case;
+  std::string format = "nt";
+  std::string spill_dir;
+  int64_t spill_threshold = -1;
   int64_t nodes_override = -1;
   bool stats = false;
   // -1 = flag absent: keep the serial generator (and its edge stream);
-  // any explicit value routes generation through src/parallel/.
+  // any explicit value — or any spill flag — routes generation through
+  // src/parallel/.
   int threads = -1;
 
   for (int i = 1; i < argc; ++i) {
@@ -88,6 +109,19 @@ int main(int argc, char** argv) {
       auto parsed = ParseInt(v);
       if (!parsed.ok() || parsed.ValueOrDie() < 0) return Usage(argv[0]);
       threads = static_cast<int>(parsed.ValueOrDie());
+    } else if (arg == "--format") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      format = v;
+      if (format != "nt" && format != "csv") return Usage(argv[0]);
+    } else if (arg == "--spill-dir") {
+      if (const char* v = next()) spill_dir = v; else return Usage(argv[0]);
+    } else if (arg == "--spill-threshold") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      auto parsed = ParseInt(v);
+      if (!parsed.ok() || parsed.ValueOrDie() < 0) return Usage(argv[0]);
+      spill_threshold = parsed.ValueOrDie();
     } else if (arg == "--stats") {
       stats = true;
     } else {
@@ -128,6 +162,11 @@ int main(int argc, char** argv) {
                  report->ToString().c_str());
   }
 
+  // Spill flags imply the parallel generator (the spill subsystem lives
+  // there); --spill-dir without an explicit threshold means always spill.
+  const bool spill_requested = !spill_dir.empty() || spill_threshold >= 0;
+  if (!spill_dir.empty() && spill_threshold < 0) spill_threshold = 0;
+
   // Graph generation.
   if (!graph_out.empty()) {
     std::ofstream out(graph_out, std::ios::binary | std::ios::trunc);
@@ -135,27 +174,50 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: cannot write %s\n", graph_out.c_str());
       return 1;
     }
-    NTriplesSink sink(&out, &config.schema);
-    GeneratorOptions options;
-    Status st;
-    if (threads >= 0) {
-      options.num_threads = threads;
-      st = ParallelGenerateEdges(config, &sink, options);
+    // Construct only the chosen sink: CsvSink emits its header row from
+    // the constructor.
+    std::optional<NTriplesSink> nt_sink;
+    std::optional<CsvSink> csv_sink;
+    EdgeSink* sink;
+    if (format == "csv") {
+      sink = &csv_sink.emplace(&out, &config.schema);
     } else {
-      st = GenerateEdges(config, &sink, options);
+      sink = &nt_sink.emplace(&out, &config.schema);
     }
+    GeneratorOptions options;
+    options.spill_dir = spill_dir;
+    options.spill_threshold_bytes = spill_threshold;
+    Status st;
+    if (threads >= 0 || spill_requested) {
+      options.num_threads = threads >= 0 ? threads : 1;
+      st = ParallelGenerateToSink(config, sink, options);
+    } else {
+      st = GenerateEdges(config, sink, options);
+    }
+    // Flush before testing the stream: a failure in the final buffered
+    // block would otherwise surface only in the destructor, silently.
+    out.flush();
+    if (st.ok() && !out) st = Status::IOError("stream write failed");
     if (!st.ok()) {
       std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
       return 1;
     }
-    std::printf("wrote %zu triples to %s\n", sink.count(),
-                graph_out.c_str());
+    std::printf("wrote %zu %s to %s\n", sink->count(),
+                format == "csv" ? "csv rows" : "triples", graph_out.c_str());
   }
   if (stats) {
+    // Stats need the fully indexed graph resident, so spilling cannot
+    // bound this path's memory; it still honors the parallel-generator
+    // routing implied by any spill flag.
+    if (spill_requested) {
+      std::fprintf(stderr, "warning: --stats builds the full in-memory "
+                           "graph; --spill-dir/--spill-threshold cannot "
+                           "bound its memory\n");
+    }
     GeneratorOptions options;
     Result<Graph> graph = [&] {
-      if (threads >= 0) {
-        options.num_threads = threads;
+      if (threads >= 0 || spill_requested) {
+        options.num_threads = threads >= 0 ? threads : 1;
         return ParallelGenerateGraph(config, options);
       }
       return GenerateGraph(config, options);

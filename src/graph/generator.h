@@ -11,6 +11,7 @@
 #define GMARK_GRAPH_GENERATOR_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/graph_config.h"
@@ -25,13 +26,15 @@ class EdgeSink {
  public:
   virtual ~EdgeSink() = default;
   virtual void Append(NodeId source, PredicateId predicate, NodeId target) = 0;
+  /// \brief Edges appended so far (uniform across output formats).
+  virtual size_t count() const = 0;
 };
 
 /// \brief Sink that discards edges and counts them (scalability runs).
 class CountingSink : public EdgeSink {
  public:
   void Append(NodeId, PredicateId, NodeId) override { ++count_; }
-  size_t count() const { return count_; }
+  size_t count() const override { return count_; }
 
  private:
   size_t count_ = 0;
@@ -43,6 +46,7 @@ class VectorSink : public EdgeSink {
   void Append(NodeId source, PredicateId predicate, NodeId target) override {
     edges_.push_back(Edge{source, predicate, target});
   }
+  size_t count() const override { return edges_.size(); }
   std::vector<Edge>& edges() { return edges_; }
   const std::vector<Edge>& edges() const { return edges_; }
 
@@ -69,6 +73,22 @@ struct GeneratorOptions {
   /// chunk_size) and is independent of num_threads; constraints smaller
   /// than one chunk degenerate to a single task, i.e. the serial path.
   int64_t chunk_size = 1 << 16;
+
+  /// Spill-to-disk control for the parallel generator (src/parallel/
+  /// spill_sink.h). When >= 0 and the exact edge total (known after the
+  /// slot-building phase) exceeds this many bytes, edge shards are
+  /// written to per-shard temp files and streamed back in canonical
+  /// order at drain time, so peak edge memory is ~ num_threads *
+  /// chunk_size edges instead of the whole graph. 0 means "always
+  /// spill"; -1 (default) disables spilling. The emitted edge stream is
+  /// byte-identical either way. Ignored by the serial GenerateEdges
+  /// path and by ParallelGenerateGraph (an indexed graph needs the full
+  /// edge vector resident anyway).
+  int64_t spill_threshold_bytes = -1;
+
+  /// Parent directory for spill files; empty means the system temp
+  /// directory. Each run creates (and removes) its own subdirectory.
+  std::string spill_dir;
 };
 
 /// \brief Run the Fig. 5 algorithm, streaming edges into `sink`.

@@ -32,6 +32,7 @@ CsvSink::CsvSink(std::ostream* out, const GraphSchema* schema)
 void CsvSink::Append(NodeId source, PredicateId predicate, NodeId target) {
   (*out_) << source << ',' << schema_->PredicateName(predicate) << ','
           << target << '\n';
+  ++count_;
 }
 
 Status WriteNTriples(const Graph& graph, const GraphSchema& schema,
@@ -46,6 +47,18 @@ Status WriteNTriples(const Graph& graph, const GraphSchema& schema,
     for (NodeId v = 0; v < static_cast<NodeId>(graph.num_nodes()); ++v) {
       (*out) << kNodePrefix << v << "> " << kTypePredicate << " \""
              << schema.TypeName(graph.TypeOf(v)) << "\" .\n";
+    }
+  }
+  if (!*out) return Status::IOError("stream write failed");
+  return Status::OK();
+}
+
+Status WriteCsv(const Graph& graph, const GraphSchema& schema,
+                std::ostream* out) {
+  CsvSink sink(out, &schema);
+  for (PredicateId p = 0; p < graph.predicate_count(); ++p) {
+    for (const auto& [src, trg] : graph.EdgesOf(p)) {
+      sink.Append(src, p, trg);
     }
   }
   if (!*out) return Status::IOError("stream write failed");
@@ -78,11 +91,19 @@ Result<std::vector<Edge>> ReadNTriples(std::istream* in,
     std::string trimmed = Trim(line);
     if (trimmed.empty() || trimmed[0] == '#') continue;
     std::vector<std::string> tokens = Split(trimmed, ' ');
+    // Type triples carry a quoted type name, which may itself contain
+    // spaces and split into extra tokens — so they must be recognized
+    // before the 4-token shape check. Only well-terminated ones are
+    // skipped; a truncated type line is still a malformed file.
+    if (tokens.size() >= 2 && tokens[1] == kTypePredicate) {
+      if (tokens.size() >= 4 && tokens.back() == ".") continue;
+      return Status::InvalidArgument("malformed type triple on line " +
+                                     std::to_string(line_no));
+    }
     if (tokens.size() < 4 || tokens[3] != ".") {
       return Status::InvalidArgument("malformed N-triples line " +
                                      std::to_string(line_no));
     }
-    if (tokens[1] == kTypePredicate) continue;
     if (!StartsWith(tokens[1], kPredPrefix) || tokens[1].back() != '>') {
       return Status::InvalidArgument("unknown predicate IRI on line " +
                                      std::to_string(line_no));

@@ -23,7 +23,7 @@ class NTriplesSink : public EdgeSink {
   /// \brief `schema` supplies predicate names; must outlive the sink.
   NTriplesSink(std::ostream* out, const GraphSchema* schema);
   void Append(NodeId source, PredicateId predicate, NodeId target) override;
-  size_t count() const { return count_; }
+  size_t count() const override { return count_; }
 
  private:
   std::ostream* out_;
@@ -32,21 +32,31 @@ class NTriplesSink : public EdgeSink {
 };
 
 /// \brief Sink that streams edges as `source,predicate,target` CSV rows
-/// with a header, using predicate names.
+/// with a header, using predicate names. Stream errors are the caller's
+/// to check (e.g. via WriteCsv or by testing the stream after a drain);
+/// the sink itself only counts what it emitted.
 class CsvSink : public EdgeSink {
  public:
   CsvSink(std::ostream* out, const GraphSchema* schema);
   void Append(NodeId source, PredicateId predicate, NodeId target) override;
+  size_t count() const override { return count_; }
 
  private:
   std::ostream* out_;
   const GraphSchema* schema_;
+  size_t count_ = 0;
 };
 
 /// \brief Write an indexed graph as N-triples, including one
 /// `<node> <http://gmark/type> "<typename>" .` triple per node.
 Status WriteNTriples(const Graph& graph, const GraphSchema& schema,
                      std::ostream* out, bool include_node_types = false);
+
+/// \brief Write an indexed graph as a CSV edge list (header row plus one
+/// `source,predicate,target` row per edge), failing with IOError if the
+/// stream goes bad.
+Status WriteCsv(const Graph& graph, const GraphSchema& schema,
+                std::ostream* out);
 
 /// \brief Parse the N-triples dialect produced by NTriplesSink back into
 /// an edge list (type triples are skipped).

@@ -8,7 +8,9 @@
 #include <utility>
 #include <vector>
 
+#include "parallel/shard_store.h"
 #include "parallel/sharded_sink.h"
+#include "parallel/spill_sink.h"
 #include "parallel/thread_pool.h"
 #include "util/random.h"
 
@@ -18,6 +20,14 @@ namespace {
 
 using internal::ConstraintPlan;
 using internal::SlotIndex;
+
+/// Chooses the ShardStore once the exact shard/edge totals are known —
+/// the auto-spill decision cannot be made earlier because the edge
+/// count of a constraint depends on its realized slot vectors. The
+/// returned pointer stays owned by the factory's creator.
+using ShardStoreFactory =
+    std::function<Result<ShardStore*>(size_t shard_count,
+                                      int64_t total_edges)>;
 
 // RNG stream phases within one constraint. Each (constraint, phase,
 // chunk) triple owns an independent SplitMix64-derived stream.
@@ -72,9 +82,12 @@ struct SideBuild {
 
 /// The full parallel run: three barrier phases (build, shuffle, emit),
 /// each fanning out over every constraint at once so cross-constraint
-/// and intra-constraint parallelism compose.
+/// and intra-constraint parallelism compose. The destination store is
+/// created by `factory` between phases 2 and 3, when the exact edge
+/// total is known.
 Status GenerateShards(const GraphConfiguration& config,
-                      const GeneratorOptions& options, ShardedSink* out) {
+                      const GeneratorOptions& options,
+                      const ShardStoreFactory& factory) {
   GMARK_ASSIGN_OR_RETURN(NodeLayout layout, NodeLayout::Create(config));
   const auto& constraints = config.schema.edge_constraints();
   const int64_t chunk_size = options.chunk_size < 1 ? 1 : options.chunk_size;
@@ -192,6 +205,7 @@ Status GenerateShards(const GraphConfiguration& config,
   std::vector<int64_t> edge_counts(constraints.size(), 0);
   std::vector<size_t> shard_base(constraints.size(), 0);
   size_t total_shards = 0;
+  int64_t total_edges = 0;
   for (size_t ci = 0; ci < constraints.size(); ++ci) {
     const ConstraintPlan& plan = plans[ci];
     if (plan.empty()) continue;
@@ -208,8 +222,10 @@ Status GenerateShards(const GraphConfiguration& config,
     shard_base[ci] = total_shards;
     total_shards += static_cast<size_t>(NumChunks(edge_counts[ci],
                                                   chunk_size));
+    total_edges += edge_counts[ci];
   }
-  out->Reset(total_shards);
+  GMARK_ASSIGN_OR_RETURN(ShardStore* out, factory(total_shards, total_edges));
+  GMARK_RETURN_NOT_OK(out->Reset(total_shards));
 
   for (size_t ci = 0; ci < constraints.size(); ++ci) {
     const ConstraintPlan& plan = plans[ci];
@@ -220,15 +236,15 @@ Status GenerateShards(const GraphConfiguration& config,
     const std::vector<SlotIndex>* vtrg = in_slots_of[ci];
     const int64_t n_chunks = NumChunks(edges, chunk_size);
     for (int64_t k = 0; k < n_chunks; ++k) {
-      std::vector<Edge>* shard =
-          &out->shard(shard_base[ci] + static_cast<size_t>(k));
-      executor.Submit([&c, &plan, vsrc, vtrg, shard, ci, k, edges, chunk_size,
-                       seed] {
+      const size_t shard_index = shard_base[ci] + static_cast<size_t>(k);
+      executor.Submit([&c, &plan, vsrc, vtrg, out, shard_index, ci, k, edges,
+                       chunk_size, seed] {
         const int64_t lo = k * chunk_size;
         const int64_t hi = std::min(lo + chunk_size, edges);
         RandomEngine rng(
             DeriveSeed(seed, ci, kPhaseEmit, static_cast<uint64_t>(k)));
-        shard->reserve(static_cast<size_t>(hi - lo));
+        std::vector<Edge> buffer;
+        buffer.reserve(static_cast<size_t>(hi - lo));
         for (int64_t i = lo; i < hi; ++i) {
           SlotIndex s =
               plan.out_implicit
@@ -238,31 +254,70 @@ Status GenerateShards(const GraphConfiguration& config,
               plan.in_implicit
                   ? static_cast<SlotIndex>(rng.UniformInt(0, plan.n_trg - 1))
                   : (*vtrg)[static_cast<size_t>(i)];
-          shard->push_back(Edge{plan.src_base + s, c.predicate,
+          buffer.push_back(Edge{plan.src_base + s, c.predicate,
                                 plan.trg_base + t});
         }
+        out->PutShard(shard_index, std::move(buffer));
       });
     }
   }
   executor.Wait();
-  return Status::OK();
+  return out->Finish();
 }
 
 }  // namespace
 
+namespace internal {
+
+bool ShouldSpill(const GeneratorOptions& options, int64_t total_edges) {
+  if (options.spill_threshold_bytes < 0) return false;
+  const int64_t edge_bytes =
+      total_edges * static_cast<int64_t>(sizeof(Edge));
+  return edge_bytes > options.spill_threshold_bytes;
+}
+
+}  // namespace internal
+
+Status ParallelGenerateToSink(const GraphConfiguration& config,
+                              EdgeSink* sink, const GeneratorOptions& options,
+                              GenerateStats* stats) {
+  std::unique_ptr<ShardStore> store;
+  bool spilled = false;
+  auto factory = [&store, &spilled, &options](size_t, int64_t total_edges)
+      -> Result<ShardStore*> {
+    spilled = internal::ShouldSpill(options, total_edges);
+    if (spilled) {
+      SpillSink::Options spill_options;
+      spill_options.dir = options.spill_dir;
+      store = std::make_unique<SpillSink>(spill_options);
+    } else {
+      store = std::make_unique<ShardedSink>();
+    }
+    return store.get();
+  };
+  GMARK_RETURN_NOT_OK(GenerateShards(config, options, factory));
+  GMARK_RETURN_NOT_OK(store->Drain(sink));
+  if (stats != nullptr) {
+    stats->total_edges = store->TotalEdges();
+    stats->peak_resident_edge_bytes = store->PeakResidentEdgeBytes();
+    stats->spilled = spilled;
+  }
+  return Status::OK();
+}
+
 Status ParallelGenerateEdges(const GraphConfiguration& config, EdgeSink* sink,
                              const GeneratorOptions& options) {
-  ShardedSink shards;
-  GMARK_RETURN_NOT_OK(GenerateShards(config, options, &shards));
-  shards.Drain(sink);
-  return Status::OK();
+  return ParallelGenerateToSink(config, sink, options);
 }
 
 Result<Graph> ParallelGenerateGraph(const GraphConfiguration& config,
                                     const GeneratorOptions& options) {
   GMARK_ASSIGN_OR_RETURN(NodeLayout layout, NodeLayout::Create(config));
   ShardedSink shards;
-  GMARK_RETURN_NOT_OK(GenerateShards(config, options, &shards));
+  auto factory = [&shards](size_t, int64_t) -> Result<ShardStore*> {
+    return &shards;
+  };
+  GMARK_RETURN_NOT_OK(GenerateShards(config, options, factory));
   return Graph::Build(std::move(layout), config.schema.predicate_count(),
                       shards.TakeEdges());
 }

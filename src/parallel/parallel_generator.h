@@ -6,10 +6,11 @@
 // its own RNG stream from the config seed and its *logical* coordinates
 // (constraint index, phase, chunk index) via SplitMix64 (util/random.h).
 // Work units share no mutable state: slot chunks build private vectors,
-// emission chunks write private ShardedSink shards, and results are
-// concatenated in canonical (constraint, chunk) order. The output is
+// emission chunks hand private buffers to a ShardStore, and results are
+// replayed in canonical (constraint, chunk) order. The output is
 // therefore a pure function of (config, chunk_size) and is bit-for-bit
-// identical at any thread count, including 1.
+// identical at any thread count, including 1, and regardless of whether
+// the shards lived in memory (ShardedSink) or on disk (SpillSink).
 //
 // This soundly parallelizes the paper's algorithm because constraint
 // draws are statistically independent (§4); chunking a degree
@@ -25,6 +26,8 @@
 #ifndef GMARK_PARALLEL_PARALLEL_GENERATOR_H_
 #define GMARK_PARALLEL_PARALLEL_GENERATOR_H_
 
+#include <cstdint>
+
 #include "core/graph_config.h"
 #include "graph/generator.h"
 #include "graph/graph.h"
@@ -35,12 +38,47 @@ namespace gmark {
 /// \brief Parallel Fig. 5: generate all edges with
 /// options.num_threads workers (0 = hardware concurrency) and stream
 /// them into `sink` in canonical order on the calling thread.
+/// Equivalent to ParallelGenerateToSink; kept as the historical name.
 Status ParallelGenerateEdges(const GraphConfiguration& config, EdgeSink* sink,
                              const GeneratorOptions& options = {});
 
+/// \brief Observability for one streaming generation run (benchmarks
+/// and tests; also what the spill bench reports as "peak edge memory").
+struct GenerateStats {
+  size_t total_edges = 0;
+  /// High-water mark of edge bytes resident in the shard store: the
+  /// whole edge set for the in-memory path, ~ the in-flight chunks for
+  /// the spill path.
+  size_t peak_resident_edge_bytes = 0;
+  bool spilled = false;
+};
+
+/// \brief Streaming parallel generation: run the parallel algorithm and
+/// drain the result straight into `sink` without ever materializing the
+/// full edge set in one vector. Once the exact edge total is known
+/// (after the slot-building phase), the shards are kept in memory or
+/// spilled to per-shard temp files according to options.spill_dir /
+/// options.spill_threshold_bytes; either way the bytes reaching `sink`
+/// are identical.
+Status ParallelGenerateToSink(const GraphConfiguration& config,
+                              EdgeSink* sink,
+                              const GeneratorOptions& options = {},
+                              GenerateStats* stats = nullptr);
+
 /// \brief Parallel generation of a fully indexed in-memory graph.
+/// Always uses in-memory shards: the indexed graph needs the full edge
+/// vector resident anyway, so spilling could not lower the peak.
 Result<Graph> ParallelGenerateGraph(const GraphConfiguration& config,
                                     const GeneratorOptions& options = {});
+
+namespace internal {
+
+/// \brief The auto-spill decision: true when options enable spilling
+/// (spill_threshold_bytes >= 0) and the exact edge total exceeds the
+/// threshold. Exposed for tests.
+bool ShouldSpill(const GeneratorOptions& options, int64_t total_edges);
+
+}  // namespace internal
 
 }  // namespace gmark
 

@@ -1,0 +1,58 @@
+// Destination abstraction for the parallel generator's edge shards.
+//
+// The generator numbers its emission chunks in canonical (constraint,
+// chunk) order before any task runs; a ShardStore receives each shard's
+// finished edge buffer exactly once and replays them by ascending index
+// at drain time, which is what makes the output independent of
+// scheduling. Two implementations exist: ShardedSink keeps every shard
+// resident (fast, memory ~ total edges) and SpillSink writes each shard
+// to its own temp file (memory ~ in-flight chunks, disk ~ total edges).
+
+#ifndef GMARK_PARALLEL_SHARD_STORE_H_
+#define GMARK_PARALLEL_SHARD_STORE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/generator.h"
+#include "graph/graph.h"
+
+namespace gmark {
+
+/// \brief Receives canonically numbered edge shards from concurrent
+/// emission tasks and replays them in index order.
+///
+/// Contract: Reset(n) runs once, before any task; PutShard(i, edges) is
+/// called at most once per index — distinct indices may be written
+/// concurrently, so implementations must not share mutable state across
+/// indices; Finish() and Drain() run on the coordinating thread after
+/// every task has completed. PutShard never fails in-line: I/O errors
+/// are recorded per shard and surfaced by Finish().
+class ShardStore {
+ public:
+  virtual ~ShardStore() = default;
+
+  /// \brief Size the store to `shard_count` empty shards.
+  virtual Status Reset(size_t shard_count) = 0;
+
+  /// \brief Hand shard `index` its final edge buffer (moved in).
+  virtual void PutShard(size_t index, std::vector<Edge> edges) = 0;
+
+  /// \brief Barrier step after all PutShard calls: surfaces deferred
+  /// per-shard errors.
+  virtual Status Finish() = 0;
+
+  /// \brief Total edges across all shards received so far.
+  virtual size_t TotalEdges() const = 0;
+
+  /// \brief High-water mark of edge bytes simultaneously resident in
+  /// memory (buffers owned by or in transit through the store).
+  virtual size_t PeakResidentEdgeBytes() const = 0;
+
+  /// \brief Stream every edge into `out` in canonical shard order.
+  virtual Status Drain(EdgeSink* out) = 0;
+};
+
+}  // namespace gmark
+
+#endif  // GMARK_PARALLEL_SHARD_STORE_H_

@@ -10,12 +10,13 @@ size_t ShardedSink::TotalEdges() const {
   return total;
 }
 
-void ShardedSink::Drain(EdgeSink* out) const {
+Status ShardedSink::Drain(EdgeSink* out) {
   for (const auto& shard : shards_) {
     for (const Edge& e : shard) {
       out->Append(e.source, e.predicate, e.target);
     }
   }
+  return Status::OK();
 }
 
 std::vector<Edge> ShardedSink::TakeEdges() {

@@ -1,7 +1,7 @@
-// Lock-free edge collection for the parallel generator.
+// In-memory edge collection for the parallel generator.
 //
-// Each emission task owns one shard — a private std::vector<Edge> it
-// appends to with no synchronization. Shards are numbered in canonical
+// Each emission task builds one shard — a private std::vector<Edge> it
+// hands over with no synchronization. Shards are numbered in canonical
 // (constraint, chunk) order before any task runs, so concatenating them
 // by index reproduces one well-defined edge order regardless of which
 // thread ran which task or in what order tasks finished. Determinism
@@ -13,33 +13,51 @@
 #define GMARK_PARALLEL_SHARDED_SINK_H_
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "graph/generator.h"
 #include "graph/graph.h"
+#include "parallel/shard_store.h"
 
 namespace gmark {
 
 /// \brief Per-task edge buffers, concatenated in canonical shard order.
-class ShardedSink {
+class ShardedSink : public ShardStore {
  public:
   /// \brief Discard all edges and size the sink to `shard_count` empty
   /// shards. Must be called before tasks run; never during.
-  void Reset(size_t shard_count) {
+  Status Reset(size_t shard_count) override {
     shards_.assign(shard_count, {});
+    return Status::OK();
   }
 
-  /// \brief The buffer owned by shard `index`. Distinct indices may be
-  /// written concurrently; one index must only be written by one task.
+  /// \brief Take ownership of shard `index`'s buffer. Distinct indices
+  /// may be written concurrently; one index only by one task.
+  void PutShard(size_t index, std::vector<Edge> edges) override {
+    shards_[index] = std::move(edges);
+  }
+
+  /// \brief In-memory writes cannot fail.
+  Status Finish() override { return Status::OK(); }
+
+  /// \brief The buffer owned by shard `index` (tests and the serial
+  /// fill path).
   std::vector<Edge>& shard(size_t index) { return shards_[index]; }
 
   size_t shard_count() const { return shards_.size(); }
 
   /// \brief Total edges across all shards.
-  size_t TotalEdges() const;
+  size_t TotalEdges() const override;
+
+  /// \brief Every handed-over shard stays resident until drained, so
+  /// the high-water mark is simply the current total.
+  size_t PeakResidentEdgeBytes() const override {
+    return TotalEdges() * sizeof(Edge);
+  }
 
   /// \brief Stream every edge into `out` in canonical shard order.
-  void Drain(EdgeSink* out) const;
+  Status Drain(EdgeSink* out) override;
 
   /// \brief Concatenate all shards into one vector (canonical order),
   /// leaving the sink empty.

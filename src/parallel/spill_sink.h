@@ -1,0 +1,94 @@
+// Disk-backed edge collection for the parallel generator.
+//
+// Each canonical shard spills to its own temp file, written in one shot
+// by the task that owns the shard — one file per shard means zero
+// locking, and naming files by shard index means reading them back in
+// ascending index order reproduces exactly the edge stream the
+// in-memory ShardedSink would have produced. Peak edge memory is
+// therefore the sum of the chunks currently in flight (~ num_threads *
+// chunk_size edges) instead of the whole graph, which is what lets
+// 100M+-edge instances stream to N-triples on small machines.
+//
+// Files hold raw Edge structs (host byte order): they never outlive the
+// process that wrote them, so no portable encoding is needed.
+
+#ifndef GMARK_PARALLEL_SPILL_SINK_H_
+#define GMARK_PARALLEL_SPILL_SINK_H_
+
+#include <atomic>
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "parallel/shard_store.h"
+
+namespace gmark {
+
+/// \brief ShardStore that writes each shard to its own file under a
+/// per-run spill directory, removed when the sink is destroyed.
+class SpillSink : public ShardStore {
+ public:
+  struct Options {
+    /// Parent directory for the per-run spill directory; empty means
+    /// std::filesystem::temp_directory_path().
+    std::string dir;
+    /// Edges read back per block while draining (bounds drain memory).
+    size_t read_buffer_edges = 1 << 15;
+  };
+
+  // Two constructors instead of one defaulted argument: a default
+  // argument would need Options' member initializers before the
+  // enclosing class is complete, which gcc rejects.
+  SpillSink() : SpillSink(Options()) {}
+  explicit SpillSink(Options options);
+  ~SpillSink() override;
+
+  SpillSink(const SpillSink&) = delete;
+  SpillSink& operator=(const SpillSink&) = delete;
+
+  /// \brief Create the run directory and size the shard table. Fails
+  /// with IOError if the directory cannot be created.
+  Status Reset(size_t shard_count) override;
+
+  /// \brief Write shard `index` to its file and drop the buffer. Errors
+  /// are recorded in the shard's slot and surfaced by Finish().
+  void PutShard(size_t index, std::vector<Edge> edges) override;
+
+  /// \brief First error recorded by any PutShard, if any.
+  Status Finish() override;
+
+  size_t TotalEdges() const override;
+
+  /// \brief Largest number of edge bytes simultaneously in transit
+  /// through PutShard (buffers freed as soon as their file is written).
+  size_t PeakResidentEdgeBytes() const override {
+    return peak_resident_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Read every shard file back in canonical index order and
+  /// stream its edges into `out`, block by block.
+  Status Drain(EdgeSink* out) override;
+
+  /// \brief The per-run spill directory (empty before Reset).
+  const std::filesystem::path& run_dir() const { return run_dir_; }
+
+ private:
+  struct Shard {
+    size_t edge_count = 0;
+    Status status;
+  };
+
+  std::filesystem::path ShardPath(size_t index) const;
+  void RemoveRunDir();
+
+  Options options_;
+  std::filesystem::path run_dir_;
+  std::vector<Shard> shards_;
+  std::atomic<size_t> resident_bytes_{0};
+  std::atomic<size_t> peak_resident_bytes_{0};
+};
+
+}  // namespace gmark
+
+#endif  // GMARK_PARALLEL_SPILL_SINK_H_

@@ -10,6 +10,14 @@ std::string IntRange::ToString() const {
   return os.str();
 }
 
+Status IntRange::Validate(const std::string& what, int min_allowed) const {
+  if (min < min_allowed || max < min) {
+    return Status::InvalidArgument("invalid " + what + " range " +
+                                   ToString());
+  }
+  return Status::OK();
+}
+
 const char* QueryShapeName(QueryShape shape) {
   switch (shape) {
     case QueryShape::kChain: return "chain";
@@ -46,21 +54,11 @@ Result<QuerySelectivity> ParseQuerySelectivity(const std::string& name) {
   return Status::InvalidArgument("unknown selectivity class: " + name);
 }
 
-namespace {
-Status ValidateRange(const IntRange& r, const std::string& what, int lo) {
-  if (r.min < lo || r.max < r.min) {
-    return Status::InvalidArgument("invalid " + what + " range " +
-                                   r.ToString());
-  }
-  return Status::OK();
-}
-}  // namespace
-
 Status QuerySize::Validate() const {
-  GMARK_RETURN_NOT_OK(ValidateRange(rules, "rules", 1));
-  GMARK_RETURN_NOT_OK(ValidateRange(conjuncts, "conjuncts", 1));
-  GMARK_RETURN_NOT_OK(ValidateRange(disjuncts, "disjuncts", 1));
-  GMARK_RETURN_NOT_OK(ValidateRange(path_length, "path length", 1));
+  GMARK_RETURN_NOT_OK(rules.Validate("rules", 1));
+  GMARK_RETURN_NOT_OK(conjuncts.Validate("conjuncts", 1));
+  GMARK_RETURN_NOT_OK(disjuncts.Validate("disjuncts", 1));
+  GMARK_RETURN_NOT_OK(path_length.Validate("path length", 1));
   return Status::OK();
 }
 
@@ -68,9 +66,7 @@ Status WorkloadConfiguration::Validate() const {
   if (num_queries == 0) {
     return Status::InvalidArgument("workload must contain queries");
   }
-  if (arity.min < 0 || arity.max < arity.min) {
-    return Status::InvalidArgument("invalid arity range " + arity.ToString());
-  }
+  GMARK_RETURN_NOT_OK(arity.Validate("arity", 0));
   if (shapes.empty()) {
     return Status::InvalidArgument("no query shapes allowed");
   }

@@ -21,6 +21,13 @@ struct IntRange {
   static IntRange Between(int lo, int hi) { return IntRange{lo, hi}; }
 
   bool Contains(int v) const { return v >= min && v <= max; }
+
+  /// \brief InvalidArgument unless min_allowed <= min <= max. Inverted
+  /// ranges must be rejected here: RandomEngine::UniformInt(lo, hi)
+  /// returns lo when lo > hi, so an inverted range that slips through
+  /// silently degenerates to its minimum instead of erroring.
+  Status Validate(const std::string& what, int min_allowed) const;
+
   std::string ToString() const;
 };
 

@@ -27,6 +27,30 @@ TEST(GraphIoTest, CsvSinkFormat) {
   CsvSink sink(&out, &config.schema);
   sink.Append(1, 1, 2);
   EXPECT_EQ(out.str(), "source,predicate,target\n1,publishedIn,2\n");
+  EXPECT_EQ(sink.count(), 1u);
+}
+
+TEST(GraphIoTest, WriteCsvEmitsHeaderAndEveryEdge) {
+  GraphConfiguration config = MakeBibConfig(500, 3);
+  Graph g = GenerateGraph(config).ValueOrDie();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(g, config.schema, &out).ok());
+  size_t rows = 0;
+  std::istringstream in(out.str());
+  std::string line;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, g.num_edges() + 1);  // Header plus one row per edge.
+  EXPECT_EQ(out.str().rfind("source,predicate,target\n", 0), 0u);
+}
+
+TEST(GraphIoTest, WriteCsvReportsStreamFailure) {
+  GraphConfiguration config = MakeBibConfig(500, 3);
+  Graph g = GenerateGraph(config).ValueOrDie();
+  std::ostringstream out;
+  out.setstate(std::ios::badbit);
+  Status st = WriteCsv(g, config.schema, &out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError()) << st;
 }
 
 TEST(GraphIoTest, NTriplesRoundTripPreservesEdges) {
@@ -62,6 +86,36 @@ TEST(GraphIoTest, TypeTriplesAreWrittenAndSkippedOnRead) {
   EXPECT_EQ(edges->size(), g.num_edges());
 }
 
+TEST(GraphIoTest, RoundTripSurvivesMultiWordTypeNames) {
+  // A type name containing a space splits its type triple into more
+  // than four tokens; the reader must skip type triples before the
+  // token-count shape check or it rejects files the writer produced.
+  GraphConfiguration config;
+  config.num_nodes = 40;
+  config.seed = 5;
+  GraphSchema& s = config.schema;
+  ASSERT_TRUE(s.AddType("white paper", OccurrenceConstraint::Fixed(20)).ok());
+  ASSERT_TRUE(
+      s.AddType("review board", OccurrenceConstraint::Fixed(20)).ok());
+  ASSERT_TRUE(s.AddPredicate("cites").ok());
+  ASSERT_TRUE(s.AddEdgeConstraintByName(
+                   "white paper", "cites", "review board",
+                   DistributionSpec::NonSpecified(),
+                   DistributionSpec::Uniform(1, 3))
+                  .ok());
+  Graph g = GenerateGraph(config).ValueOrDie();
+  ASSERT_GT(g.num_edges(), 0u);
+  std::ostringstream out;
+  ASSERT_TRUE(
+      WriteNTriples(g, config.schema, &out, /*include_node_types=*/true)
+          .ok());
+  ASSERT_NE(out.str().find("\"white paper\""), std::string::npos);
+  std::istringstream in(out.str());
+  auto edges = ReadNTriples(&in, config.schema);
+  ASSERT_TRUE(edges.ok()) << edges.status();
+  EXPECT_EQ(edges->size(), g.num_edges());
+}
+
 TEST(GraphIoTest, ReadSkipsCommentsAndBlankLines) {
   GraphConfiguration config = MakeBibConfig(100);
   std::istringstream in(
@@ -77,6 +131,16 @@ TEST(GraphIoTest, ReadRejectsMalformedLines) {
   GraphConfiguration config = MakeBibConfig(100);
   {
     std::istringstream in("<http://gmark/n1> <http://gmark/p/authors>\n");
+    EXPECT_FALSE(ReadNTriples(&in, config.schema).ok());
+  }
+  {
+    // Truncated type triples are corruption, not skippable noise.
+    std::istringstream in("<http://gmark/n1> <http://gmark/type>\n");
+    EXPECT_FALSE(ReadNTriples(&in, config.schema).ok());
+  }
+  {
+    std::istringstream in(
+        "<http://gmark/n1> <http://gmark/type> \"researcher\"\n");
     EXPECT_FALSE(ReadNTriples(&in, config.schema).ok());
   }
   {

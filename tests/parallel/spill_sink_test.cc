@@ -1,0 +1,234 @@
+// SpillSink contract tests: canonical-order replay from per-shard temp
+// files, bounded resident memory, cleanup, error surfacing — and the
+// acceptance criterion of the spill subsystem: the streamed N-triples
+// output is byte-identical to the in-memory path at any thread count.
+
+#include "parallel/spill_sink.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/use_cases.h"
+#include "graph/generator.h"
+#include "graph/graph_io.h"
+#include "parallel/parallel_generator.h"
+#include "parallel/sharded_sink.h"
+
+namespace gmark {
+namespace {
+
+std::vector<Edge> MakeEdges(NodeId base, size_t n) {
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    edges.push_back(Edge{base + i, 0, base + i + 1});
+  }
+  return edges;
+}
+
+TEST(SpillSinkTest, DrainPreservesCanonicalOrder) {
+  SpillSink::Options options;
+  options.dir = ::testing::TempDir();
+  SpillSink sink(options);
+  ASSERT_TRUE(sink.Reset(3).ok());
+  // Fill shards out of order — canonical order is by index, not fill
+  // order.
+  sink.PutShard(2, {Edge{5, 0, 6}});
+  sink.PutShard(0, {Edge{1, 0, 2}});
+  sink.PutShard(1, {Edge{3, 0, 4}});
+  ASSERT_TRUE(sink.Finish().ok());
+  EXPECT_EQ(sink.TotalEdges(), 3u);
+  VectorSink out;
+  ASSERT_TRUE(sink.Drain(&out).ok());
+  const std::vector<Edge> expected = {
+      Edge{1, 0, 2}, Edge{3, 0, 4}, Edge{5, 0, 6}};
+  EXPECT_EQ(out.edges(), expected);
+  // Draining is repeatable: the files stay until the sink dies.
+  VectorSink again;
+  ASSERT_TRUE(sink.Drain(&again).ok());
+  EXPECT_EQ(again.edges(), expected);
+}
+
+TEST(SpillSinkTest, EmptyShardsProduceNoFilesAndNoEdges) {
+  SpillSink::Options options;
+  options.dir = ::testing::TempDir();
+  SpillSink sink(options);
+  ASSERT_TRUE(sink.Reset(4).ok());
+  sink.PutShard(1, MakeEdges(10, 5));
+  sink.PutShard(3, MakeEdges(100, 2));
+  sink.PutShard(0, {});
+  ASSERT_TRUE(sink.Finish().ok());
+  EXPECT_EQ(sink.TotalEdges(), 7u);
+  size_t files = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(sink.run_dir())) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 2u);  // Only the two non-empty shards hit disk.
+  VectorSink out;
+  ASSERT_TRUE(sink.Drain(&out).ok());
+  EXPECT_EQ(out.edges().size(), 7u);
+  EXPECT_EQ(out.edges()[0], (Edge{10, 0, 11}));
+  EXPECT_EQ(out.edges()[5], (Edge{100, 0, 101}));
+}
+
+TEST(SpillSinkTest, RunDirRemovedOnDestruction) {
+  std::filesystem::path run_dir;
+  {
+    SpillSink::Options options;
+    options.dir = ::testing::TempDir();
+    SpillSink sink(options);
+    ASSERT_TRUE(sink.Reset(1).ok());
+    sink.PutShard(0, MakeEdges(0, 3));
+    ASSERT_TRUE(sink.Finish().ok());
+    run_dir = sink.run_dir();
+    ASSERT_TRUE(std::filesystem::exists(run_dir));
+  }
+  EXPECT_FALSE(std::filesystem::exists(run_dir));
+}
+
+TEST(SpillSinkTest, ResetFailsWhenParentDirIsAFile) {
+  const std::string blocker =
+      ::testing::TempDir() + "gmark-spill-blocker.txt";
+  { std::ofstream f(blocker); f << "not a directory"; }
+  SpillSink::Options options;
+  options.dir = blocker;
+  SpillSink sink(options);
+  Status st = sink.Reset(1);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError()) << st;
+  std::filesystem::remove(blocker);
+}
+
+TEST(SpillSinkTest, PeakResidentBytesTracksInFlightNotTotal) {
+  SpillSink::Options options;
+  options.dir = ::testing::TempDir();
+  SpillSink sink(options);
+  ASSERT_TRUE(sink.Reset(8).ok());
+  // Sequential puts: at most one 1000-edge buffer is in flight at a
+  // time, so the high-water mark is one shard, not eight.
+  for (size_t i = 0; i < 8; ++i) {
+    sink.PutShard(i, MakeEdges(i * 10000, 1000));
+  }
+  ASSERT_TRUE(sink.Finish().ok());
+  EXPECT_EQ(sink.TotalEdges(), 8000u);
+  EXPECT_EQ(sink.PeakResidentEdgeBytes(), 1000 * sizeof(Edge));
+
+  // The in-memory sink keeps everything resident by construction.
+  ShardedSink resident;
+  ASSERT_TRUE(resident.Reset(8).ok());
+  for (size_t i = 0; i < 8; ++i) {
+    resident.PutShard(i, MakeEdges(i * 10000, 1000));
+  }
+  EXPECT_EQ(resident.PeakResidentEdgeBytes(), 8000 * sizeof(Edge));
+}
+
+TEST(ShouldSpillTest, ThresholdSemantics) {
+  GeneratorOptions options;  // Default: spilling disabled.
+  EXPECT_FALSE(internal::ShouldSpill(options, 1'000'000'000));
+  options.spill_threshold_bytes = 0;  // Always spill (any edge exceeds 0).
+  EXPECT_TRUE(internal::ShouldSpill(options, 1));
+  EXPECT_FALSE(internal::ShouldSpill(options, 0));
+  options.spill_threshold_bytes = 1 << 20;
+  const int64_t edges_under =
+      (1 << 20) / static_cast<int64_t>(sizeof(Edge));
+  EXPECT_FALSE(internal::ShouldSpill(options, edges_under));
+  EXPECT_TRUE(internal::ShouldSpill(options, edges_under + 1));
+}
+
+GeneratorOptions SpillOptions(int threads, bool spill) {
+  GeneratorOptions options;
+  options.num_threads = threads;
+  options.chunk_size = 512;  // Force many shards on 10K-node configs.
+  if (spill) {
+    options.spill_threshold_bytes = 0;
+    options.spill_dir = ::testing::TempDir();
+  }
+  return options;
+}
+
+std::string GenerateNTriples(const GraphConfiguration& config,
+                             const GeneratorOptions& options) {
+  std::ostringstream out;
+  NTriplesSink sink(&out, &config.schema);
+  Status st = ParallelGenerateToSink(config, &sink, options);
+  EXPECT_TRUE(st.ok()) << st;
+  EXPECT_GT(sink.count(), 0u);
+  return out.str();
+}
+
+TEST(SpillDeterminismTest, SpillOutputIsByteIdenticalToInMemory) {
+  const GraphConfiguration config = MakeBibConfig(10000, 42);
+  const std::string in_memory =
+      GenerateNTriples(config, SpillOptions(1, /*spill=*/false));
+  ASSERT_FALSE(in_memory.empty());
+  for (int threads : {1, 2, 8}) {
+    EXPECT_EQ(in_memory,
+              GenerateNTriples(config, SpillOptions(threads, /*spill=*/true)))
+        << "spill path at " << threads
+        << " threads diverged from the in-memory stream";
+  }
+}
+
+TEST(SpillDeterminismTest, CsvOutputMatchesTooAndCountsRows) {
+  const GraphConfiguration config = MakeLsnConfig(8000, 7);
+  std::ostringstream baseline, spilled;
+  CsvSink baseline_sink(&baseline, &config.schema);
+  ASSERT_TRUE(ParallelGenerateToSink(config, &baseline_sink,
+                                     SpillOptions(1, false))
+                  .ok());
+  CsvSink spilled_sink(&spilled, &config.schema);
+  ASSERT_TRUE(ParallelGenerateToSink(config, &spilled_sink,
+                                     SpillOptions(4, true))
+                  .ok());
+  EXPECT_EQ(baseline.str(), spilled.str());
+  EXPECT_EQ(baseline_sink.count(), spilled_sink.count());
+  EXPECT_GT(spilled_sink.count(), 0u);
+}
+
+TEST(SpillDeterminismTest, SpillBoundsPeakEdgeMemoryByInFlightChunks) {
+  const GraphConfiguration config = MakeBibConfig(20000, 42);
+  GenerateStats mem_stats;
+  CountingSink mem_sink;
+  ASSERT_TRUE(ParallelGenerateToSink(config, &mem_sink,
+                                     SpillOptions(4, false), &mem_stats)
+                  .ok());
+  EXPECT_FALSE(mem_stats.spilled);
+  EXPECT_EQ(mem_stats.total_edges, mem_sink.count());
+  EXPECT_EQ(mem_stats.peak_resident_edge_bytes,
+            mem_stats.total_edges * sizeof(Edge));
+
+  GenerateStats spill_stats;
+  CountingSink spill_sink;
+  ASSERT_TRUE(ParallelGenerateToSink(config, &spill_sink,
+                                     SpillOptions(4, true), &spill_stats)
+                  .ok());
+  EXPECT_TRUE(spill_stats.spilled);
+  EXPECT_EQ(spill_stats.total_edges, mem_stats.total_edges);
+  // At most num_threads chunks are in flight at once, so the spill
+  // path's peak tracks threads * chunk_size — not the edge total.
+  EXPECT_LE(spill_stats.peak_resident_edge_bytes,
+            static_cast<size_t>(4) * 512 * sizeof(Edge));
+  EXPECT_LT(spill_stats.peak_resident_edge_bytes,
+            mem_stats.peak_resident_edge_bytes);
+}
+
+TEST(SpillDeterminismTest, AutoSpillAboveThresholdPreservesOutput) {
+  const GraphConfiguration config = MakeBibConfig(10000, 13);
+  GeneratorOptions in_memory = SpillOptions(4, false);
+  // A threshold the 10K-node instance comfortably exceeds: auto-spill
+  // engages without being explicitly forced.
+  GeneratorOptions auto_spill = SpillOptions(4, true);
+  auto_spill.spill_threshold_bytes = 1024;
+  EXPECT_EQ(GenerateNTriples(config, in_memory),
+            GenerateNTriples(config, auto_spill));
+}
+
+}  // namespace
+}  // namespace gmark

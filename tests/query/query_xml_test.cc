@@ -107,5 +107,30 @@ TEST(WorkloadConfigXmlTest, RejectsInvalidConfig) {
           .ok());
 }
 
+TEST(WorkloadConfigXmlTest, RejectsInvertedRangesAtParseTime) {
+  // An inverted range must fail loudly here: downstream draws go
+  // through RandomEngine::UniformInt, which returns lo when lo > hi and
+  // would silently degenerate min=5,max=2 into "always 5".
+  auto inverted_size = ParseWorkloadConfigXml(
+      "<workload queries=\"3\"><size conjuncts-min=\"5\" "
+      "conjuncts-max=\"2\"/></workload>");
+  ASSERT_FALSE(inverted_size.ok());
+  EXPECT_TRUE(inverted_size.status().IsInvalidArgument())
+      << inverted_size.status();
+
+  auto inverted_arity = ParseWorkloadConfigXml(
+      "<workload queries=\"3\"><arity min=\"4\" max=\"1\"/></workload>");
+  ASSERT_FALSE(inverted_arity.ok());
+  EXPECT_TRUE(inverted_arity.status().IsInvalidArgument())
+      << inverted_arity.status();
+
+  auto inverted_length = ParseWorkloadConfigXml(
+      "<workload queries=\"3\"><size length-min=\"3\" "
+      "length-max=\"1\"/></workload>");
+  ASSERT_FALSE(inverted_length.ok());
+  EXPECT_TRUE(inverted_length.status().IsInvalidArgument())
+      << inverted_length.status();
+}
+
 }  // namespace
 }  // namespace gmark

@@ -16,6 +16,17 @@ TEST(IntRangeTest, Basics) {
   EXPECT_EQ(IntRange::Exactly(3).max, 3);
 }
 
+TEST(IntRangeTest, ValidateRejectsInvertedAndBelowFloor) {
+  EXPECT_TRUE(IntRange::Between(1, 3).Validate("x", 1).ok());
+  EXPECT_TRUE(IntRange::Exactly(2).Validate("x", 1).ok());
+  Status inverted = IntRange::Between(5, 2).Validate("conjuncts", 1);
+  EXPECT_FALSE(inverted.ok());
+  EXPECT_TRUE(inverted.IsInvalidArgument());
+  EXPECT_NE(inverted.message().find("conjuncts"), std::string::npos);
+  EXPECT_FALSE(IntRange::Between(0, 2).Validate("x", 1).ok());
+  EXPECT_TRUE(IntRange::Between(0, 2).Validate("x", 0).ok());
+}
+
 TEST(WorkloadConfigTest, DefaultValidates) {
   WorkloadConfiguration config;
   EXPECT_TRUE(config.Validate().ok());

@@ -94,6 +94,40 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<double, int64_t>{2.0, 1000},
                       std::pair<double, int64_t>{1.0, 500}));
 
+TEST(ZipfTest, ExponentWithinEpsilonOfOneTakesTheLogBranch) {
+  // H/HInverse switch to their log/exp limit when |s - 1| < 1e-9. A
+  // sampler just inside that window must be draw-for-draw identical to
+  // s = 1 exactly: both hit the same branch, so the envelopes agree to
+  // the last bit.
+  ZipfSampler exact(1.0, 500);
+  ZipfSampler inside(1.0 + 1e-12, 500);
+  RandomEngine a(11), b(11);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(exact.Sample(&a), inside.Sample(&b)) << "draw " << i;
+  }
+}
+
+TEST(ZipfTest, LogBranchIsContinuousWithThePowBranch) {
+  // Just outside the epsilon window the generic x^(1-s) formulas apply;
+  // the distribution must vary continuously across the switch, or the
+  // 1e-9 guard would introduce a seam in the schema's s parameter.
+  ZipfSampler log_branch(1.0, 1000);
+  ZipfSampler pow_branch(1.0 + 1e-4, 1000);
+  EXPECT_NEAR(log_branch.Mean(), pow_branch.Mean(),
+              0.02 * log_branch.Mean());
+  RandomEngine rng(13);
+  const int n = 30000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    int64_t v = log_branch.Sample(&rng);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 1000);
+    sum += static_cast<double>(v);
+  }
+  // The s = 1 empirical mean must match Mean(); heavy tail, so loose.
+  EXPECT_NEAR(sum / n, log_branch.Mean(), 0.15 * log_branch.Mean());
+}
+
 TEST(ZipfTest, MeanIsMonotoneInSupportForHeavyTail) {
   // Exponent 1 has a diverging mean: larger supports must give larger
   // means (this property keeps fixed-type in-degrees consistent; see
