@@ -1,0 +1,170 @@
+// Parallel workload-generation speedup: queries/sec at 1/2/4/8 threads
+// vs the serial Fig. 6 loop, plus the G_sel-hoist ablation measured
+// independently of threading.
+//
+// Two effects compose here:
+//   1. The hoist: the serial generator used to rebuild the
+//      SelectivityGraph inside every GenerateOne call; it now builds
+//      once per workload and is shared read-only. The ablation rows
+//      time the old per-query rebuild (via the GenerateOne overload
+//      that builds G_sel on demand) against the hoisted path, both on
+//      one thread, so the win is visible without any parallelism.
+//   2. The fan-out: per-query SplitMix64 streams make the query loop
+//      embarrassingly parallel; expect near-linear scaling up to
+//      physical cores (queries are coarse, independent tasks).
+//
+// The generated workload is byte-identical across every row of one
+// configuration — determinism is checked as a side effect.
+//
+// GMARK_THREADS=a,b,c picks thread counts; GMARK_QUERIES=n picks the
+// workload size; GMARK_SMOKE=1 shrinks everything for CI smoke runs.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/use_cases.h"
+#include "query/query_xml.h"
+#include "util/random.h"
+#include "util/timer.h"
+#include "workload/parallel_workload.h"
+#include "workload/presets.h"
+#include "workload/query_generator.h"
+
+using namespace gmark;
+
+namespace {
+
+bool SmokeMode() {
+  const char* v = std::getenv("GMARK_SMOKE");
+  return v != nullptr && std::string(v) == "1";
+}
+
+std::vector<int> ThreadCounts() {
+  if (const char* env = std::getenv("GMARK_THREADS")) {
+    std::vector<int> out;
+    for (const std::string& part : Split(env, ',')) {
+      auto v = ParseInt(part);
+      if (v.ok() && v.ValueOrDie() > 0) {
+        out.push_back(static_cast<int>(v.ValueOrDie()));
+      }
+    }
+    if (!out.empty()) return out;
+  }
+  return {1, 2, 4, 8};
+}
+
+struct Run {
+  double seconds = 0.0;
+  size_t queries = 0;
+  std::string xml;
+  double QueriesPerSec() const {
+    return seconds > 0.0 ? static_cast<double>(queries) / seconds : 0.0;
+  }
+};
+
+/// The old shape of the serial loop: one GenerateOne call per query
+/// with no shared G_sel, so controlled queries rebuild it every time.
+Run TimePerQueryRebuild(const QueryGenerator& generator,
+                        const WorkloadConfiguration& wconfig) {
+  Run r;
+  WallTimer timer;
+  for (size_t i = 0; i < wconfig.num_queries; ++i) {
+    QueryShape shape = wconfig.shapes[i % wconfig.shapes.size()];
+    std::optional<QuerySelectivity> target;
+    if (wconfig.selectivity_control) {
+      target = wconfig.selectivities[i % wconfig.selectivities.size()];
+    }
+    RandomEngine rng(DeriveSeed(wconfig.seed, i,
+                                internal::kWorkloadQueryPhase));
+    auto one = generator.GenerateOne(wconfig, shape, target,
+                                     /*gsel=*/nullptr, &rng);
+    if (one.ok()) ++r.queries;
+  }
+  r.seconds = timer.ElapsedSeconds();
+  return r;
+}
+
+Run TimeParallel(const QueryGenerator& generator, const GraphSchema& schema,
+                 const WorkloadConfiguration& wconfig, int threads) {
+  ParallelWorkloadOptions options;
+  options.num_threads = threads;
+  Run r;
+  WallTimer timer;
+  auto workload = ParallelGenerateWorkload(generator, wconfig, options);
+  r.seconds = timer.ElapsedSeconds();
+  if (workload.ok()) {
+    r.queries = workload->queries.size();
+    r.xml = workload->ToXml(schema);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Parallel workload generation speedup",
+                     "extends paper section 6.2 (workload scalability)");
+  size_t num_queries = SmokeMode() ? 30 : (bench::FullMode() ? 1000 : 200);
+  if (std::getenv("GMARK_QUERIES") != nullptr) {
+    num_queries = bench::QueriesPerWorkload();
+  }
+  const std::vector<int> thread_counts = ThreadCounts();
+  std::printf("queries per workload: %zu\n\n", num_queries);
+
+  for (UseCase use_case : AllUseCases()) {
+    GraphConfiguration config = MakeUseCase(use_case, 100000, 23);
+    QueryGenerator generator(&config.schema);
+    WorkloadConfiguration wconfig =
+        MakePresetWorkload(WorkloadPreset::kCon, num_queries, 29);
+    wconfig.recursion_probability = 0.1;
+
+    // Ablation: per-query G_sel rebuild (old) vs hoisted (new), both
+    // on one thread.
+    Run rebuild = TimePerQueryRebuild(generator, wconfig);
+    Run hoisted = TimeParallel(generator, config.schema, wconfig, 1);
+    if (hoisted.queries == 0) {
+      // Without a baseline the MISMATCH check below would compare
+      // empty strings and pass vacuously.
+      std::fprintf(stderr, "error: %s generated no queries\n",
+                   UseCaseName(use_case));
+      return 1;
+    }
+    std::printf("%-4s %-22s %9.3fs  %8.1f queries/s\n",
+                UseCaseName(use_case), "gsel rebuild/query",
+                rebuild.seconds, rebuild.QueriesPerSec());
+    std::printf("%-4s %-22s %9.3fs  %8.1f queries/s  (%.2fx from hoist)\n",
+                UseCaseName(use_case), "gsel hoisted, serial",
+                hoisted.seconds, hoisted.QueriesPerSec(),
+                hoisted.seconds > 0.0 ? rebuild.seconds / hoisted.seconds
+                                      : 0.0);
+
+    for (int threads : thread_counts) {
+      Run run = TimeParallel(generator, config.schema, wconfig, threads);
+      char label[32];
+      std::snprintf(label, sizeof(label), "par x%d", threads);
+      const bool identical = run.xml == hoisted.xml;
+      std::printf("%-4s %-22s %9.3fs  %8.1f queries/s  "
+                  "(%.2fx vs serial)%s\n",
+                  UseCaseName(use_case), label, run.seconds,
+                  run.QueriesPerSec(),
+                  run.seconds > 0.0 ? hoisted.seconds / run.seconds : 0.0,
+                  identical ? "" : "  [MISMATCH]");
+      if (!identical) {
+        std::fprintf(stderr,
+                     "error: %d-thread workload differs from serial\n",
+                     threads);
+        return 1;
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "expected shape: the hoist alone is a large win for controlled\n"
+      "workloads (G_sel was rebuilt per query); threading scales the\n"
+      "remaining per-query walk cost near-linearly up to physical\n"
+      "cores. Every row generates a byte-identical workload.\n");
+  return 0;
+}

@@ -9,7 +9,9 @@
 //             [-o <dir>]                   write per-language query files
 //             [-n <nodes>]                 override the graph size
 //             [--use-case Bib|LSN|SP|WD]   built-in config instead of -c
-//             [--threads <k>]              parallel generation (0 = all cores)
+//             [--threads <k>]              parallel graph AND workload
+//                                          generation (0 = all cores); output
+//                                          is identical at any thread count
 //             [--spill-dir <dir>]          stream edge shards through per-shard
 //                                          temp files under <dir> instead of
 //                                          holding the edge set in memory
@@ -40,6 +42,7 @@
 #include "query/query_xml.h"
 #include "util/string_util.h"
 #include "translate/translator.h"
+#include "workload/parallel_workload.h"
 #include "workload/presets.h"
 #include "workload/query_generator.h"
 
@@ -55,6 +58,9 @@ int Usage(const char* argv0) {
       "          [-q workload.xml] [-o query-dir] [--threads k]\n"
       "          [--spill-dir DIR] [--spill-threshold BYTES] [--stats]\n"
       "\n"
+      "  --threads k            parallel graph and workload generation\n"
+      "                         (0 = all cores); output is byte-identical\n"
+      "                         at any thread count\n"
       "  --spill-dir DIR        stream edge shards through per-shard temp\n"
       "                         files under DIR (bounded memory; implies\n"
       "                         the parallel generator)\n"
@@ -245,7 +251,11 @@ int main(int argc, char** argv) {
     wconfig = std::move(parsed).ValueOrDie();
   }
   QueryGenerator generator(&config.schema);
-  auto workload = generator.Generate(wconfig);
+  // --threads routes workload generation through the parallel path;
+  // the result is byte-identical to the serial generator regardless.
+  ParallelWorkloadOptions woptions;
+  woptions.num_threads = threads >= 0 ? threads : 1;
+  auto workload = ParallelGenerateWorkload(generator, wconfig, woptions);
   if (!workload.ok()) {
     std::fprintf(stderr, "error: %s\n",
                  workload.status().ToString().c_str());

@@ -1,0 +1,54 @@
+// Inline-or-pooled task execution shared by the parallel generators.
+//
+// Both the graph generator (parallel_generator.cc) and the workload
+// generator (workload/parallel_workload.cc) fan chunked, order-
+// independent tasks out over a ThreadPool — but must degrade to plain
+// inline execution when only one thread is requested, so the serial
+// path is literally the parallel algorithm minus the pool. Executor
+// captures that pattern once: results are identical either way because
+// every task derives its randomness from logical coordinates, never
+// from scheduling (see util/random.h).
+
+#ifndef GMARK_PARALLEL_EXECUTOR_H_
+#define GMARK_PARALLEL_EXECUTOR_H_
+
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "parallel/thread_pool.h"
+
+namespace gmark {
+
+/// \brief Runs closures on a pool, or inline when only one thread is
+/// asked for — same results either way, since tasks are
+/// order-independent.
+class Executor {
+ public:
+  /// \brief `num_threads` as in GeneratorOptions: 0 means hardware
+  /// concurrency, 1 runs every task inline on the calling thread.
+  explicit Executor(int num_threads) {
+    const int resolved =
+        num_threads == 0 ? ThreadPool::DefaultThreads() : num_threads;
+    if (resolved > 1) pool_.emplace(resolved);
+  }
+
+  void Submit(std::function<void()> task) {
+    if (pool_.has_value()) {
+      pool_->Submit(std::move(task));
+    } else {
+      task();
+    }
+  }
+
+  void Wait() {
+    if (pool_.has_value()) pool_->Wait();
+  }
+
+ private:
+  std::optional<ThreadPool> pool_;
+};
+
+}  // namespace gmark
+
+#endif  // GMARK_PARALLEL_EXECUTOR_H_

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "parallel/executor.h"
 #include "parallel/shard_store.h"
 #include "parallel/sharded_sink.h"
 #include "parallel/spill_sink.h"
@@ -44,28 +45,6 @@ int64_t NumChunks(int64_t total, int64_t chunk_size) {
   return (total + chunk_size - 1) / chunk_size;
 }
 
-/// Runs closures on a pool, or inline when only one thread is asked
-/// for — same results either way, since tasks are order-independent.
-class Executor {
- public:
-  explicit Executor(int num_threads) {
-    if (num_threads > 1) pool_.emplace(num_threads);
-  }
-  void Submit(std::function<void()> task) {
-    if (pool_.has_value()) {
-      pool_->Submit(std::move(task));
-    } else {
-      task();
-    }
-  }
-  void Wait() {
-    if (pool_.has_value()) pool_->Wait();
-  }
-
- private:
-  std::optional<ThreadPool> pool_;
-};
-
 /// One materialized side of one constraint: chunk build results, the
 /// concatenated+shuffled slot vector, and per-chunk error slots.
 struct SideBuild {
@@ -101,10 +80,7 @@ Status GenerateShards(const GraphConfiguration& config,
     plans.push_back(plan);
   }
 
-  const int num_threads = options.num_threads == 0
-                              ? ThreadPool::DefaultThreads()
-                              : options.num_threads;
-  Executor executor(num_threads);
+  Executor executor(options.num_threads);
 
   // Phase 1 — build slot vectors, chunked over node ranges. Chunk k of
   // a side draws its nodes' degrees from the stream (ci, side, k), so

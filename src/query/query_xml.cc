@@ -39,10 +39,8 @@ Result<RegularExpression> ParseRegex(const XmlNode& regex,
   return expr;
 }
 
-}  // namespace
-
-std::string QueriesToXml(const std::vector<Query>& queries,
-                         const GraphSchema& schema) {
+XmlNode BuildWorkloadNode(const std::vector<Query>& queries,
+                          const GraphSchema& schema) {
   XmlNode root("workload");
   for (const Query& q : queries) {
     XmlNode& query = root.AddChild("query");
@@ -62,6 +60,25 @@ std::string QueriesToXml(const std::vector<Query>& queries,
         AppendRegex(&conj, c.expr, schema);
       }
     }
+  }
+  return root;
+}
+
+}  // namespace
+
+std::string QueriesToXml(const std::vector<Query>& queries,
+                         const GraphSchema& schema) {
+  return BuildWorkloadNode(queries, schema).ToString();
+}
+
+std::string WorkloadToXml(const std::string& name,
+                          const std::vector<Query>& queries,
+                          const std::vector<std::string>& skipped,
+                          const GraphSchema& schema) {
+  XmlNode root = BuildWorkloadNode(queries, schema);
+  root.set_attr("name", name);
+  for (const std::string& record : skipped) {
+    root.AddChild("skipped").set_text(record);
   }
   return root.ToString();
 }

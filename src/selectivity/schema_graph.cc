@@ -139,6 +139,17 @@ double SchemaGraph::CountPaths(SchemaNodeId from, SchemaNodeId to,
   return counts[length][from];
 }
 
+double SchemaGraph::CountPathsInRange(SchemaNodeId from, SchemaNodeId to,
+                                      IntRange range) const {
+  if (range.max < 0 || range.max < range.min) return 0.0;
+  auto counts = CountTable(to, range.max);
+  double total = 0.0;
+  for (int len = std::max(range.min, 0); len <= range.max; ++len) {
+    total += counts[len][from];
+  }
+  return total;
+}
+
 Result<PathExpr> SchemaGraph::SamplePath(SchemaNodeId from, SchemaNodeId to,
                                          IntRange length,
                                          RandomEngine* rng) const {

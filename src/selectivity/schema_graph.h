@@ -41,6 +41,15 @@ struct SchemaGraphEdge {
 };
 
 /// \brief G_S plus its distance matrix and path sampling.
+///
+/// Thread-safety: after Build returns, every const method is safe to
+/// call from any number of threads concurrently. This is by
+/// construction, not by locking — Distance, CountPaths,
+/// CountPathsInRange, and SamplePath recompute into locals (no mutable
+/// caches), and SamplePath draws only from the caller-owned
+/// RandomEngine. The parallel workload generator
+/// (workload/parallel_workload.h) relies on this: one SchemaGraph is
+/// shared read-only by every query task.
 class SchemaGraph {
  public:
   /// \brief Build the reachable part of G_S: starting from the identity
@@ -69,6 +78,13 @@ class SchemaGraph {
   /// \brief Number of paths (walks) of exactly `length` edges from
   /// `from` to `to`, saturated at a large cap to avoid overflow.
   double CountPaths(SchemaNodeId from, SchemaNodeId to, int length) const;
+
+  /// \brief Sum of CountPaths over every length in `range`, computed
+  /// from one DP table instead of one per length (the table for
+  /// range.max contains every shorter length as a prefix). Saturated
+  /// per length like CountPaths.
+  double CountPathsInRange(SchemaNodeId from, SchemaNodeId to,
+                           IntRange range) const;
 
   /// \brief Sample, uniformly over all (from -> to) walks whose length
   /// lies within `length`, one walk; returns its symbol sequence.

@@ -15,6 +15,17 @@
 namespace gmark {
 
 /// \brief G_sel with nb_path-weighted walk sampling (§5.2.4).
+///
+/// G_sel depends only on (schema graph, per-conjunct length range), so
+/// one instance can be built once per workload and shared by every
+/// query — rebuilding it per query was the dominant cost of controlled
+/// generation (see bench/workload_speedup.cpp).
+///
+/// Thread-safety: after Build returns, all const methods are safe for
+/// concurrent callers. CountChains and SampleConjunctChain recompute
+/// into locals (no mutable caches) and draw only from the caller-owned
+/// RandomEngine; the referenced SchemaGraph is itself read-only (it
+/// must outlive this object).
 class SelectivityGraph {
  public:
   /// \brief Derive G_sel from G_S for a per-conjunct length range.

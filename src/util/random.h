@@ -6,6 +6,7 @@
 #define GMARK_UTIL_RANDOM_H_
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <random>
 #include <vector>
@@ -37,7 +38,14 @@ class RandomEngine {
   explicit RandomEngine(uint64_t seed = 0x9E3779B97F4A7C15ULL) : rng_(seed) {}
 
   /// \brief Uniform integer in the closed interval [lo, hi].
+  ///
+  /// An inverted range (lo > hi) is a caller bug — typically a range
+  /// that slipped past IntRange::Validate — and asserts in debug
+  /// builds. Release builds degrade to returning `lo` rather than
+  /// handing an inverted range to std::uniform_int_distribution, whose
+  /// behavior would be undefined.
   int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi && "UniformInt: inverted range [lo, hi]");
     if (lo >= hi) return lo;
     return std::uniform_int_distribution<int64_t>(lo, hi)(rng_);
   }

@@ -1,8 +1,12 @@
 #include "workload/query_generator.h"
 
 #include <algorithm>
+#include <cassert>
 #include <map>
 #include <set>
+
+#include "query/query_xml.h"
+#include "workload/parallel_workload.h"
 
 namespace gmark {
 
@@ -11,7 +15,39 @@ namespace {
 constexpr int kMaxRuleAttempts = 25;
 
 int DrawInRange(const IntRange& r, RandomEngine* rng) {
-  return static_cast<int>(rng->UniformInt(r.min, r.max));
+  // IntRange carries int bounds, so the int64 draw always fits an int;
+  // assert that instead of narrowing silently, so a future widening of
+  // IntRange cannot truncate here. Inverted ranges trip the assert
+  // inside UniformInt itself.
+  const int64_t v = rng->UniformInt(r.min, r.max);
+  assert(v >= r.min && v <= r.max && "UniformInt draw escaped its range");
+  return static_cast<int>(v);
+}
+
+/// Star mask for `k` conjuncts: each carries a Kleene star with
+/// probability pr, but at least one stays plain — starred conjuncts
+/// are selectivity-neutral loops (§5.2.4) and cannot anchor the class.
+std::vector<bool> DrawStarMask(int k, double pr, RandomEngine* rng) {
+  std::vector<bool> starred(static_cast<size_t>(k), false);
+  for (int i = 0; i < k; ++i) {
+    starred[static_cast<size_t>(i)] = rng->Bernoulli(pr);
+  }
+  if (std::count(starred.begin(), starred.end(), false) == 0) {
+    starred[static_cast<size_t>(rng->UniformInt(0, k - 1))] = false;
+  }
+  return starred;
+}
+
+/// Un-star one uniformly chosen starred conjunct. Pre: the mask has at
+/// least one star.
+void UnstarOne(std::vector<bool>* mask, RandomEngine* rng) {
+  std::vector<int> starred_at;
+  for (int i = 0; i < static_cast<int>(mask->size()); ++i) {
+    if ((*mask)[static_cast<size_t>(i)]) starred_at.push_back(i);
+  }
+  const size_t pick = static_cast<size_t>(rng->UniformInt(
+      0, static_cast<int64_t>(starred_at.size()) - 1));
+  (*mask)[static_cast<size_t>(starred_at[pick])] = false;
 }
 
 /// Variable-level query skeleton (Fig. 6 line 2): conjuncts as
@@ -98,6 +134,10 @@ std::vector<Query> Workload::RawQueries() const {
   return out;
 }
 
+std::string Workload::ToXml(const GraphSchema& schema) const {
+  return WorkloadToXml(name, RawQueries(), skipped, schema);
+}
+
 QueryGenerator::QueryGenerator(const GraphSchema* schema)
     : schema_(schema), graph_(SchemaGraph::Build(*schema)) {}
 
@@ -130,10 +170,7 @@ Result<std::pair<PathExpr, SchemaNodeId>> QueryGenerator::SamplePathToType(
   std::vector<double> weights;
   for (SchemaNodeId v = 0; v < graph_.node_count(); ++v) {
     if (graph_.nodes()[v].type != target_type) continue;
-    double total = 0.0;
-    for (int len = length.min; len <= length.max; ++len) {
-      total += graph_.CountPaths(from, v, len);
-    }
+    double total = graph_.CountPathsInRange(from, v, length);
     if (total > 0.0) {
       candidates.push_back(v);
       weights.push_back(total);
@@ -188,33 +225,38 @@ Result<QueryRule> QueryGenerator::GenerateControlledChainRule(
   const IntRange len = config.size.path_length;
   int c = DrawInRange(config.size.conjuncts, rng);
 
-  // Decide which conjuncts carry a Kleene star (probability pr). At
-  // least one conjunct stays plain: starred conjuncts are
-  // selectivity-neutral loops (§5.2.4) and cannot anchor the class.
-  std::vector<bool> starred(static_cast<size_t>(c), false);
-  for (int i = 0; i < c; ++i) {
-    starred[static_cast<size_t>(i)] =
-        rng->Bernoulli(config.recursion_probability);
-  }
-  int non_star = static_cast<int>(
+  // Decide which conjuncts carry a Kleene star (probability pr).
+  std::vector<bool> starred =
+      DrawStarMask(c, config.recursion_probability, rng);
+  const int non_star = static_cast<int>(
       std::count(starred.begin(), starred.end(), false));
-  if (non_star == 0) {
-    starred[static_cast<size_t>(rng->UniformInt(0, c - 1))] = false;
-    non_star = 1;
-  }
 
-  // The conjunct-level walk in G_sel: relax the conjunct count within
-  // its range if the drawn count is infeasible for this class.
+  // The conjunct-level walk in G_sel: relax within the conjunct range
+  // when the drawn count is infeasible for this class. For each
+  // candidate count the star mask is redrawn (never wiped: wiping
+  // silently stripped recursion from every relaxed query, regardless
+  // of pr), and stars are then removed one at a time until the
+  // non-star count admits a walk — so pr = 0 still relaxes to the
+  // all-plain chains it always produced, while pr > 0 keeps as much of
+  // its drawn recursion as the class allows.
   Result<std::vector<SchemaNodeId>> walk =
       gsel.SampleConjunctChain(target, non_star, rng);
   if (!walk.ok()) {
-    for (int k = config.size.conjuncts.min; k <= config.size.conjuncts.max;
-         ++k) {
-      walk = gsel.SampleConjunctChain(target, k, rng);
+    for (int k = config.size.conjuncts.min;
+         k <= config.size.conjuncts.max && !walk.ok(); ++k) {
+      std::vector<bool> mask =
+          DrawStarMask(k, config.recursion_probability, rng);
+      int ns =
+          static_cast<int>(std::count(mask.begin(), mask.end(), false));
+      while (true) {
+        walk = gsel.SampleConjunctChain(target, ns, rng);
+        if (walk.ok() || ns == k) break;
+        UnstarOne(&mask, rng);
+        ++ns;
+      }
       if (walk.ok()) {
         c = k;
-        starred.assign(static_cast<size_t>(k), false);
-        break;
+        starred = std::move(mask);
       }
     }
   }
@@ -368,11 +410,25 @@ Result<QueryRule> QueryGenerator::GenerateFreeRule(
 Result<GeneratedQuery> QueryGenerator::GenerateOne(
     const WorkloadConfiguration& config, QueryShape shape,
     std::optional<QuerySelectivity> target, RandomEngine* rng) const {
+  return GenerateOne(config, shape, target, /*gsel=*/nullptr, rng);
+}
+
+Result<GeneratedQuery> QueryGenerator::GenerateOne(
+    const WorkloadConfiguration& config, QueryShape shape,
+    std::optional<QuerySelectivity> target, const SelectivityGraph* gsel,
+    RandomEngine* rng) const {
   const bool controlled =
       target.has_value() && shape == QueryShape::kChain;
-  // G_sel depends only on the per-conjunct path length range.
-  SelectivityGraph gsel =
-      SelectivityGraph::Build(&graph_, config.size.path_length);
+  // G_sel depends only on the per-conjunct path length range, so
+  // callers generating many queries build it once and pass it in;
+  // otherwise it is built here on demand — and only for controlled
+  // queries, which are the only ones that consult it.
+  std::optional<SelectivityGraph> local_gsel;
+  if (controlled && gsel == nullptr) {
+    local_gsel.emplace(
+        SelectivityGraph::Build(&graph_, config.size.path_length));
+    gsel = &*local_gsel;
+  }
 
   Status last_error = Status::OK();
   for (int attempt = 0; attempt < kMaxRuleAttempts; ++attempt) {
@@ -385,7 +441,7 @@ Result<GeneratedQuery> QueryGenerator::GenerateOne(
     for (int r = 0; r < num_rules; ++r) {
       Result<QueryRule> rule =
           controlled
-              ? GenerateControlledChainRule(config, *target, gsel, rng)
+              ? GenerateControlledChainRule(config, *target, *gsel, rng)
               : GenerateFreeRule(config, shape, rng);
       if (!rule.ok()) {
         last_error = rule.status();
@@ -412,34 +468,12 @@ Result<GeneratedQuery> QueryGenerator::GenerateOne(
 
 Result<Workload> QueryGenerator::Generate(
     const WorkloadConfiguration& config) const {
-  GMARK_RETURN_NOT_OK(config.Validate());
-  RandomEngine rng(config.seed);
-  Workload workload;
-  workload.name = config.name;
-  for (size_t i = 0; i < config.num_queries; ++i) {
-    QueryShape shape = config.shapes[i % config.shapes.size()];
-    std::optional<QuerySelectivity> target;
-    if (config.selectivity_control) {
-      target = config.selectivities[i % config.selectivities.size()];
-    }
-    auto one = GenerateOne(config, shape, target, &rng);
-    if (!one.ok()) {
-      workload.skipped.push_back(
-          std::string(QueryShapeName(shape)) + "/" +
-          (target.has_value() ? QuerySelectivityName(*target) : "any") +
-          ": " + one.status().message());
-      continue;
-    }
-    GeneratedQuery gq = std::move(one).ValueOrDie();
-    gq.query.name = "q" + std::to_string(workload.queries.size());
-    workload.queries.push_back(std::move(gq));
-  }
-  if (workload.queries.empty()) {
-    return Status::NotFound(
-        "no queries could be generated; first failure: " +
-        (workload.skipped.empty() ? std::string("?") : workload.skipped[0]));
-  }
-  return workload;
+  // The serial path IS the parallel algorithm run inline: every query
+  // index derives its own RNG stream, so this is byte-identical to
+  // ParallelGenerateWorkload at any thread count.
+  ParallelWorkloadOptions options;
+  options.num_threads = 1;
+  return ParallelGenerateWorkload(*this, config, options);
 }
 
 }  // namespace gmark

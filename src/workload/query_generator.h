@@ -40,9 +40,18 @@ struct Workload {
 
   /// \brief Queries stripped of generation metadata.
   std::vector<Query> RawQueries() const;
+
+  /// \brief Canonical XML rendering (queries, names, and skip records)
+  /// — the byte-identity surface the thread-invariance tests pin.
+  std::string ToXml(const GraphSchema& schema) const;
 };
 
 /// \brief Workload generator bound to one schema.
+///
+/// Thread-safety: construction builds the schema graph; afterwards all
+/// generation methods are const and recompute into locals, so one
+/// generator may serve any number of concurrent callers as long as
+/// each brings its own RandomEngine.
 class QueryGenerator {
  public:
   /// \brief `schema` must outlive the generator.
@@ -52,12 +61,31 @@ class QueryGenerator {
   /// selectivity classes cycle round-robin through the configured lists
   /// so classes are evenly represented (10/10/10 in the paper's
   /// 30-query workloads).
+  ///
+  /// This is the 1-thread special case of ParallelGenerateWorkload
+  /// (workload/parallel_workload.h): every query index draws from its
+  /// own SplitMix64-derived stream, so the output is byte-identical to
+  /// the parallel path at any thread count.
   Result<Workload> Generate(const WorkloadConfiguration& config) const;
 
-  /// \brief Generate a single query with explicit shape/class.
+  /// \brief Generate a single query with explicit shape/class. When the
+  /// query is selectivity-controlled, G_sel is built on demand (it is
+  /// never built for shapes that do not consult it).
   Result<GeneratedQuery> GenerateOne(
       const WorkloadConfiguration& config, QueryShape shape,
       std::optional<QuerySelectivity> target, RandomEngine* rng) const;
+
+  /// \brief As above, against a caller-provided G_sel built with
+  /// SelectivityGraph::Build(&schema_graph(), config.size.path_length).
+  /// Sharing one immutable G_sel across queries is what makes workload
+  /// generation parallel-friendly: this method is const and touches no
+  /// mutable state, so any number of threads may call it concurrently
+  /// with distinct RandomEngines. `gsel` may be null when the query is
+  /// not selectivity-controlled (or to build one locally on demand).
+  Result<GeneratedQuery> GenerateOne(
+      const WorkloadConfiguration& config, QueryShape shape,
+      std::optional<QuerySelectivity> target, const SelectivityGraph* gsel,
+      RandomEngine* rng) const;
 
   const SchemaGraph& schema_graph() const { return graph_; }
 

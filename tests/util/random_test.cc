@@ -1,3 +1,10 @@
+// Arm assertions in this TU even in NDEBUG builds (all CI jobs define
+// NDEBUG via RelWithDebInfo/Release): <cassert> re-evaluates NDEBUG on
+// every inclusion and RandomEngine's methods are inline, so this TU's
+// copy of UniformInt carries the inverted-range check and the death
+// test below exercises it everywhere.
+#undef NDEBUG
+
 #include "util/random.h"
 
 #include <gtest/gtest.h>
@@ -47,7 +54,23 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(RandomTest, UniformIntDegenerateRangeReturnsLo) {
   RandomEngine rng(7);
   EXPECT_EQ(rng.UniformInt(3, 3), 3);
-  EXPECT_EQ(rng.UniformInt(5, 2), 5);  // Inverted range clamps to lo.
+}
+
+TEST(RandomTest, UniformIntInvertedRangeIsLoud) {
+  // An inverted range is a caller bug (IntRange::Validate rejects it at
+  // parse time): it must assert rather than silently degenerate to lo,
+  // which masked inverted-range bugs downstream. NDEBUG is undefined at
+  // the top of this file, so the check is armed in every build type.
+#if GTEST_HAS_DEATH_TEST
+  EXPECT_DEATH(
+      {
+        RandomEngine rng(7);
+        rng.UniformInt(5, 2);
+      },
+      "inverted range");
+#else
+  GTEST_SKIP() << "death tests unavailable on this platform";
+#endif
 }
 
 TEST(RandomTest, UniformMeanIsCentered) {

@@ -220,6 +220,100 @@ TEST(QueryGeneratorTest, InfeasibleClassIsSkippedWithDiagnostics) {
   }
 }
 
+TEST(QueryGeneratorTest, QueryNamesComeFromRequestIndexAcrossSkips) {
+  // Regression: names used to be assigned from workload.queries.size(),
+  // so one skipped query shifted every later name. Names must come
+  // from the request index: with the round-robin
+  // constant/linear/quadratic rotation and only linear feasible, the
+  // surviving queries are requests 1, 4, 7.
+  GraphConfiguration config;
+  config.num_nodes = 100;
+  ASSERT_TRUE(
+      config.schema.AddType("t", OccurrenceConstraint::Proportion(1.0)).ok());
+  ASSERT_TRUE(config.schema.AddPredicate("p").ok());
+  ASSERT_TRUE(config.schema
+                  .AddEdgeConstraintByName("t", "p", "t",
+                                           DistributionSpec::Uniform(1, 2),
+                                           DistributionSpec::Uniform(1, 2))
+                  .ok());
+  QueryGenerator gen(&config.schema);
+  WorkloadConfiguration wconfig = MakePresetWorkload(WorkloadPreset::kLen, 9);
+  Workload workload = gen.Generate(wconfig).ValueOrDie();
+  ASSERT_EQ(workload.queries.size(), 3u);
+  EXPECT_EQ(workload.queries[0].query.name, "q1");
+  EXPECT_EQ(workload.queries[1].query.name, "q4");
+  EXPECT_EQ(workload.queries[2].query.name, "q7");
+}
+
+TEST(QueryGeneratorTest, RelaxedConjunctCountKeepsRecursion) {
+  // Regression: the conjunct-count relax loop used to wipe the star
+  // mask (starred.assign(k, false)), so every relaxed query lost its
+  // recursion regardless of recursion_probability.
+  //
+  // This schema makes the quadratic class reachable only through two
+  // anchoring conjuncts (A -p-> B -p^-> A gives (N,>,1).(1,<,N) =
+  // (N,x,N); single length-1 conjuncts are all linear), while q gives
+  // A a loop for starred conjuncts. With pr = 1 and conjuncts fixed at
+  // 3, the drawn mask always keeps exactly one plain conjunct, a
+  // 1-conjunct quadratic walk never exists, and every query must go
+  // through relaxation — which now un-stars just enough conjuncts to
+  // anchor the class instead of flattening the query.
+  GraphConfiguration config;
+  config.num_nodes = 1000;
+  ASSERT_TRUE(
+      config.schema.AddType("A", OccurrenceConstraint::Proportion(0.9)).ok());
+  ASSERT_TRUE(
+      config.schema.AddType("B", OccurrenceConstraint::Fixed(10)).ok());
+  ASSERT_TRUE(config.schema.AddPredicate("p").ok());
+  ASSERT_TRUE(config.schema.AddPredicate("q").ok());
+  ASSERT_TRUE(config.schema
+                  .AddEdgeConstraintByName("A", "p", "B",
+                                           DistributionSpec::Uniform(1, 2),
+                                           DistributionSpec::Uniform(1, 2))
+                  .ok());
+  ASSERT_TRUE(config.schema
+                  .AddEdgeConstraintByName("A", "q", "A",
+                                           DistributionSpec::Uniform(1, 2),
+                                           DistributionSpec::Uniform(1, 2))
+                  .ok());
+  QueryGenerator gen(&config.schema);
+  SelectivityEstimator estimator(&config.schema);
+  WorkloadConfiguration wconfig;
+  wconfig.num_queries = 12;
+  wconfig.shapes = {QueryShape::kChain};
+  wconfig.selectivities = {QuerySelectivity::kQuadratic};
+  wconfig.recursion_probability = 1.0;
+  wconfig.size.conjuncts = IntRange::Exactly(3);
+  wconfig.size.disjuncts = IntRange::Exactly(1);
+  wconfig.size.path_length = IntRange::Exactly(1);
+  wconfig.seed = 5;
+  Workload workload = gen.Generate(wconfig).ValueOrDie();
+  ASSERT_FALSE(workload.queries.empty());
+  for (const GeneratedQuery& gq : workload.queries) {
+    EXPECT_TRUE(MeasureQuery(gq.query).has_recursion)
+        << "relaxation stripped recursion from\n"
+        << gq.query.ToString(config.schema);
+    // The starred conjuncts must stay selectivity-neutral: the
+    // relaxed query still realizes its target class.
+    auto estimated = estimator.EstimateClass(gq.query);
+    ASSERT_TRUE(estimated.ok()) << estimated.status();
+    EXPECT_EQ(*estimated, QuerySelectivity::kQuadratic);
+  }
+}
+
+TEST(QueryGeneratorTest, RelaxationWithoutRecursionStaysPlain) {
+  // pr = 0 must relax exactly as before: all-plain chains, no stars
+  // invented by the mask redraw.
+  GraphConfiguration config = MakeBibConfig(10000);
+  QueryGenerator gen(&config.schema);
+  WorkloadConfiguration wconfig = MakePresetWorkload(WorkloadPreset::kCon);
+  wconfig.size.conjuncts = IntRange::Between(1, 4);
+  Workload workload = gen.Generate(wconfig).ValueOrDie();
+  for (const GeneratedQuery& gq : workload.queries) {
+    EXPECT_FALSE(MeasureQuery(gq.query).has_recursion);
+  }
+}
+
 TEST(QueryGeneratorTest, MultiRuleQueriesShareArity) {
   GraphConfiguration config = MakeBibConfig(10000);
   QueryGenerator gen(&config.schema);
