@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,42 @@ namespace bench {
 inline bool FullMode() {
   const char* v = std::getenv("GMARK_FULL");
   return v != nullptr && std::string(v) == "1";
+}
+
+/// \brief True when GMARK_SMOKE=1: tiny parameters for CI smoke runs.
+inline bool SmokeMode() {
+  const char* v = std::getenv("GMARK_SMOKE");
+  return v != nullptr && std::string(v) == "1";
+}
+
+/// \brief Thread counts: GMARK_THREADS=a,b,c override, else `defaults`.
+inline std::vector<int> ThreadCounts(std::vector<int> defaults = {1, 2, 4,
+                                                                  8}) {
+  if (const char* env = std::getenv("GMARK_THREADS")) {
+    std::vector<int> out;
+    for (const std::string& part : Split(env, ',')) {
+      auto v = ParseInt(part);
+      if (v.ok() && v.ValueOrDie() > 0) {
+        out.push_back(static_cast<int>(v.ValueOrDie()));
+      }
+    }
+    if (!out.empty()) return out;
+  }
+  return defaults;
+}
+
+/// \brief VmHWM (process peak RSS, monotone) in bytes, or 0 where /proc
+/// is unavailable.
+inline size_t PeakRssBytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      auto kb = ParseInt(Trim(line.substr(6, line.size() - 6 - 3)));
+      return kb.ok() ? static_cast<size_t>(kb.ValueOrDie()) * 1024 : 0;
+    }
+  }
+  return 0;
 }
 
 /// \brief Graph sizes: GMARK_SIZES override, else full/small defaults.

@@ -24,24 +24,8 @@ using namespace gmark;
 
 namespace {
 
-bool SmokeMode() {
-  const char* v = std::getenv("GMARK_SMOKE");
-  return v != nullptr && std::string(v) == "1";
-}
-
-std::vector<int> ThreadCounts() {
-  if (const char* env = std::getenv("GMARK_THREADS")) {
-    std::vector<int> out;
-    for (const std::string& part : Split(env, ',')) {
-      auto v = ParseInt(part);
-      if (v.ok() && v.ValueOrDie() > 0) {
-        out.push_back(static_cast<int>(v.ValueOrDie()));
-      }
-    }
-    if (!out.empty()) return out;
-  }
-  return {1, 2, 4, 8};
-}
+using bench::SmokeMode;
+using bench::ThreadCounts;
 
 struct Run {
   double seconds = 0.0;

@@ -27,10 +27,8 @@ using namespace gmark;
 
 namespace {
 
-bool SmokeMode() {
-  const char* v = std::getenv("GMARK_SMOKE");
-  return v != nullptr && std::string(v) == "1";
-}
+using bench::PeakRssBytes;
+using bench::SmokeMode;
 
 int Threads() {
   if (const char* env = std::getenv("GMARK_THREADS_SPILL")) {
@@ -40,19 +38,6 @@ int Threads() {
     }
   }
   return 4;
-}
-
-/// VmHWM (process peak RSS) in bytes, or 0 where /proc is unavailable.
-size_t PeakRssBytes() {
-  std::ifstream status("/proc/self/status");
-  std::string line;
-  while (std::getline(status, line)) {
-    if (line.rfind("VmHWM:", 0) == 0) {
-      auto kb = ParseInt(Trim(line.substr(6, line.size() - 6 - 3)));
-      return kb.ok() ? static_cast<size_t>(kb.ValueOrDie()) * 1024 : 0;
-    }
-  }
-  return 0;
 }
 
 struct Run {

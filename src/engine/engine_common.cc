@@ -16,9 +16,19 @@ uint64_t PackPair(NodeId a, NodeId b) { return (a << 32) | (b & 0xffffffff); }
 }  // namespace
 
 NodePairs SymbolPairs(const Graph& graph, const Symbol& symbol) {
-  NodePairs pairs = graph.EdgesOf(symbol.predicate);
+  // Scan the forward CSR in place — no intermediate edge vector, and
+  // inverse symbols swap roles as they materialize instead of paying a
+  // second pass.
+  NodePairs pairs;
+  pairs.reserve(graph.EdgeCount(symbol.predicate));
   if (symbol.inverse) {
-    for (auto& [s, t] : pairs) std::swap(s, t);
+    graph.ForEachEdge(symbol.predicate, [&pairs](NodeId s, NodeId t) {
+      pairs.emplace_back(t, s);
+    });
+  } else {
+    graph.ForEachEdge(symbol.predicate, [&pairs](NodeId s, NodeId t) {
+      pairs.emplace_back(s, t);
+    });
   }
   return pairs;
 }

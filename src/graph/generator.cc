@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/random.h"
+#include "util/timer.h"
 
 namespace gmark {
 
@@ -167,12 +168,28 @@ Status GenerateEdges(const GraphConfiguration& config, EdgeSink* sink,
 }
 
 Result<Graph> GenerateGraph(const GraphConfiguration& config,
-                            const GeneratorOptions& options) {
+                            const GeneratorOptions& options,
+                            GenerateStats* stats) {
+  WallTimer timer;
   GMARK_ASSIGN_OR_RETURN(NodeLayout layout, NodeLayout::Create(config));
+  const double layout_seconds = timer.ElapsedSeconds();
+  timer.Restart();
   VectorSink sink;
   GMARK_RETURN_NOT_OK(GenerateEdges(config, &sink, options));
-  return Graph::Build(std::move(layout), config.schema.predicate_count(),
-                      std::move(sink.edges()));
+  const double generate_seconds = timer.ElapsedSeconds();
+  if (stats != nullptr) {
+    stats->total_edges = sink.edges().size();
+    stats->peak_resident_edge_bytes = sink.edges().size() * sizeof(Edge);
+    stats->spilled = false;
+    stats->layout_seconds = layout_seconds;
+    stats->generate_seconds = generate_seconds;
+  }
+  timer.Restart();
+  Result<Graph> graph =
+      Graph::Build(std::move(layout), config.schema.predicate_count(),
+                   std::move(sink.edges()));
+  if (stats != nullptr) stats->index_seconds = timer.ElapsedSeconds();
+  return graph;
 }
 
 }  // namespace gmark

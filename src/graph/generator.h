@@ -91,13 +91,34 @@ struct GeneratorOptions {
   std::string spill_dir;
 };
 
+/// \brief Observability for one generation run (benchmarks, tests, and
+/// `gmark_cli --stats`; also what the spill bench reports as "peak edge
+/// memory").
+struct GenerateStats {
+  size_t total_edges = 0;
+  /// High-water mark of edge bytes resident in the staging store: the
+  /// whole edge set for in-memory paths, ~ the in-flight chunks for the
+  /// spill path.
+  size_t peak_resident_edge_bytes = 0;
+  bool spilled = false;
+  /// Phase breakdown for indexed generation (zero when the phase did
+  /// not run): node layout, edge generation, per-predicate CSR
+  /// indexing.
+  double layout_seconds = 0.0;
+  double generate_seconds = 0.0;
+  double index_seconds = 0.0;
+};
+
 /// \brief Run the Fig. 5 algorithm, streaming edges into `sink`.
 Status GenerateEdges(const GraphConfiguration& config, EdgeSink* sink,
                      const GeneratorOptions& options = {});
 
 /// \brief Convenience: generate and index a full in-memory graph.
+/// Indexing runs through Graph::Builder on an inline executor — the
+/// 1-thread special case of the shard-native parallel build.
 Result<Graph> GenerateGraph(const GraphConfiguration& config,
-                            const GeneratorOptions& options = {});
+                            const GeneratorOptions& options = {},
+                            GenerateStats* stats = nullptr);
 
 namespace internal {
 

@@ -1,74 +1,199 @@
 #include "graph/graph.h"
 
-#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "parallel/executor.h"
 
 namespace gmark {
 
-Graph::Csr Graph::BuildCsr(
-    int64_t num_nodes, const std::vector<std::pair<NodeId, NodeId>>& pairs) {
-  Csr csr;
-  csr.offsets.assign(static_cast<size_t>(num_nodes) + 1, 0);
-  for (const auto& [src, trg] : pairs) {
-    (void)trg;
-    ++csr.offsets[src + 1];
+Graph::Csr Graph::TransposeCsr(int64_t num_nodes, const Csr& forward) {
+  Csr bwd;
+  bwd.offsets.assign(static_cast<size_t>(num_nodes) + 1, 0);
+  for (NodeId t : forward.targets) {
+    ++bwd.offsets[t + 1];
   }
-  for (size_t i = 1; i < csr.offsets.size(); ++i) {
-    csr.offsets[i] += csr.offsets[i - 1];
+  for (size_t i = 1; i < bwd.offsets.size(); ++i) {
+    bwd.offsets[i] += bwd.offsets[i - 1];
   }
-  csr.targets.resize(pairs.size());
-  std::vector<size_t> cursor(csr.offsets.begin(), csr.offsets.end() - 1);
-  for (const auto& [src, trg] : pairs) {
-    csr.targets[cursor[src]++] = trg;
+  bwd.targets.resize(forward.targets.size());
+  std::vector<size_t> cursor(bwd.offsets.begin(), bwd.offsets.end() - 1);
+  for (NodeId v = 0; v + 1 < forward.offsets.size(); ++v) {
+    for (size_t i = forward.offsets[v]; i < forward.offsets[v + 1]; ++i) {
+      bwd.targets[cursor[forward.targets[i]]++] = v;
+    }
   }
-  return csr;
+  return bwd;
+}
+
+Graph::Builder::Builder(NodeLayout layout, size_t predicate_count)
+    : layout_(std::move(layout)),
+      predicate_count_(predicate_count),
+      streams_(predicate_count),
+      releases_(predicate_count) {}
+
+void Graph::Builder::SetStream(PredicateId a, EdgeStream stream,
+                               std::function<void()> release) {
+  streams_[a] = std::move(stream);
+  releases_[a] = std::move(release);
+}
+
+Result<Graph> Graph::Builder::Build(Executor* executor) && {
+  const int64_t num_nodes = layout_.total_nodes();
+  const NodeId node_limit = static_cast<NodeId>(num_nodes);
+
+  /// One predicate's build slot; tasks touch only their own slot, so the
+  /// fan-out needs no synchronization beyond the executor barrier.
+  struct Slot {
+    Csr forward;
+    Csr backward;
+    Status status;
+  };
+  std::vector<Slot> slots(predicate_count_);
+
+  for (PredicateId p = 0; p < predicate_count_; ++p) {
+    Slot* slot = &slots[p];
+    const EdgeStream* stream = &streams_[p];
+    const std::function<void()>* release = &releases_[p];
+    executor->Submit([slot, stream, release, p, num_nodes, node_limit] {
+      Csr& fwd = slot->forward;
+      fwd.offsets.assign(static_cast<size_t>(num_nodes) + 1, 0);
+      if (!*stream) {
+        // Unregistered predicate: empty adjacency both ways.
+        slot->backward.offsets.assign(static_cast<size_t>(num_nodes) + 1, 0);
+        return;
+      }
+
+      // Pass 1 — validate and count out-degrees.
+      Status st = (*stream)([&](std::span<const Edge> block) -> Status {
+        for (const Edge& e : block) {
+          if (e.predicate != p) {
+            return Status::Internal(
+                "edge stream for predicate " + std::to_string(p) +
+                " delivered predicate " + std::to_string(e.predicate));
+          }
+          if (e.source >= node_limit || e.target >= node_limit) {
+            return Status::OutOfRange(
+                "edge references node outside the layout");
+          }
+          ++fwd.offsets[e.source + 1];
+        }
+        return Status::OK();
+      });
+      if (!st.ok()) {
+        slot->status = st;
+        return;
+      }
+      for (size_t i = 1; i < fwd.offsets.size(); ++i) {
+        fwd.offsets[i] += fwd.offsets[i - 1];
+      }
+      fwd.targets.resize(fwd.offsets.back());
+
+      // Pass 2 — scatter targets into the counted buckets. The
+      // per-bucket bound check catches a stream that failed to replay
+      // identically (it would otherwise corrupt neighboring buckets);
+      // cursor and bound live in one struct so the guard costs no
+      // second random cache line on the scatter hot path.
+      struct Bucket {
+        size_t cur;
+        size_t end;
+      };
+      std::vector<Bucket> cursor(static_cast<size_t>(num_nodes));
+      for (size_t v = 0; v < cursor.size(); ++v) {
+        cursor[v] = Bucket{fwd.offsets[v], fwd.offsets[v + 1]};
+      }
+      st = (*stream)([&](std::span<const Edge> block) -> Status {
+        for (const Edge& e : block) {
+          if (e.source >= node_limit) {
+            return Status::Internal("edge stream changed between passes");
+          }
+          Bucket& b = cursor[e.source];
+          if (b.cur >= b.end) {
+            return Status::Internal("edge stream changed between passes");
+          }
+          fwd.targets[b.cur++] = e.target;
+        }
+        return Status::OK();
+      });
+      // The stream is never read again: let the store free this
+      // predicate's shards before the transpose allocates.
+      if (*release) (*release)();
+      if (!st.ok()) {
+        slot->status = st;
+        return;
+      }
+      // The in-loop guard only catches overfull buckets; an underfull
+      // replay (fewer edges than pass 1 counted) would leave
+      // value-initialized targets behind, so require every bucket
+      // exactly full.
+      for (const Bucket& b : cursor) {
+        if (b.cur != b.end) {
+          slot->status =
+              Status::Internal("edge stream changed between passes");
+          return;
+        }
+      }
+      slot->backward = TransposeCsr(num_nodes, fwd);
+    });
+  }
+  executor->Wait();
+
+  for (const Slot& slot : slots) {
+    GMARK_RETURN_NOT_OK(slot.status);
+  }
+
+  Graph g;
+  g.layout_ = std::move(layout_);
+  g.predicate_count_ = predicate_count_;
+  g.forward_.reserve(predicate_count_);
+  g.backward_.reserve(predicate_count_);
+  for (Slot& slot : slots) {
+    g.num_edges_ += slot.forward.targets.size();
+    g.forward_.push_back(std::move(slot.forward));
+    g.backward_.push_back(std::move(slot.backward));
+  }
+  return g;
 }
 
 Result<Graph> Graph::Build(NodeLayout layout, size_t predicate_count,
                            std::vector<Edge> edges) {
-  Graph g;
-  g.layout_ = std::move(layout);
-  g.predicate_count_ = predicate_count;
-  g.num_edges_ = edges.size();
-  const NodeId n = static_cast<NodeId>(g.layout_.total_nodes());
-
-  std::vector<std::vector<std::pair<NodeId, NodeId>>> fwd(predicate_count);
-  std::vector<std::vector<std::pair<NodeId, NodeId>>> bwd(predicate_count);
-  for (const Edge& e : edges) {
+  const NodeId n = static_cast<NodeId>(layout.total_nodes());
+  // One O(E) pass: validate (a filter stream would silently drop edges
+  // with unknown predicates instead of rejecting them) and record each
+  // predicate's maximal runs, so the per-predicate streams replay only
+  // their own spans instead of re-scanning the whole vector 2P times.
+  // Generated streams are constraint-grouped, so runs are long.
+  std::vector<std::vector<std::pair<size_t, size_t>>> runs(predicate_count);
+  for (size_t i = 0; i < edges.size();) {
+    const Edge& e = edges[i];
     if (e.source >= n || e.target >= n) {
       return Status::OutOfRange("edge references node outside the layout");
     }
     if (e.predicate >= predicate_count) {
       return Status::OutOfRange("edge references unknown predicate");
     }
-    fwd[e.predicate].emplace_back(e.source, e.target);
-    bwd[e.predicate].emplace_back(e.target, e.source);
-  }
-  edges.clear();
-  edges.shrink_to_fit();
-
-  g.forward_.reserve(predicate_count);
-  g.backward_.reserve(predicate_count);
-  for (size_t p = 0; p < predicate_count; ++p) {
-    g.forward_.push_back(BuildCsr(g.layout_.total_nodes(), fwd[p]));
-    fwd[p].clear();
-    fwd[p].shrink_to_fit();
-    g.backward_.push_back(BuildCsr(g.layout_.total_nodes(), bwd[p]));
-    bwd[p].clear();
-    bwd[p].shrink_to_fit();
-  }
-  return g;
-}
-
-std::vector<std::pair<NodeId, NodeId>> Graph::EdgesOf(PredicateId a) const {
-  std::vector<std::pair<NodeId, NodeId>> out;
-  const Csr& csr = forward_[a];
-  out.reserve(csr.targets.size());
-  for (NodeId v = 0; v + 1 < csr.offsets.size(); ++v) {
-    for (size_t i = csr.offsets[v]; i < csr.offsets[v + 1]; ++i) {
-      out.emplace_back(v, csr.targets[i]);
+    size_t j = i + 1;
+    while (j < edges.size() && edges[j].predicate == e.predicate &&
+           edges[j].source < n && edges[j].target < n) {
+      ++j;
     }
+    runs[e.predicate].emplace_back(i, j - i);
+    i = j;
   }
-  return out;
+
+  Builder builder(std::move(layout), predicate_count);
+  for (PredicateId p = 0; p < predicate_count; ++p) {
+    if (runs[p].empty()) continue;
+    builder.SetStream(
+        p, [&edges, r = &runs[p]](const EdgeBlockVisitor& visit) -> Status {
+          for (const auto& [offset, length] : *r) {
+            GMARK_RETURN_NOT_OK(visit({edges.data() + offset, length}));
+          }
+          return Status::OK();
+        });
+  }
+  Executor inline_executor(1);
+  return std::move(builder).Build(&inline_executor);
 }
 
 }  // namespace gmark

@@ -3,18 +3,41 @@
 // out contiguously by type (NodeLayout); adjacency is CSR per predicate,
 // forward and backward, so regular path queries can traverse both a and
 // a^- in O(1) per neighbor.
+//
+// Memory model. The graph is a per-predicate partition of CSR indexes
+// and nothing else: there is no global edge list, and construction
+// never materializes one. Each predicate's forward CSR is built by a
+// two-pass counting sort over a replayable edge stream (count degrees,
+// prefix-sum, scatter targets), and its backward CSR is then derived
+// from the forward CSR by a counting transpose — so the builder never
+// holds (target, source) pair vectors either. Peak memory during a
+// build is therefore the staged edge stream (shards, which the builder
+// releases per predicate as it consumes them) plus the CSRs themselves,
+// instead of the seed path's edge vector + forward pair vectors +
+// backward pair vectors (~3x the edge set). Per-predicate builds are
+// independent and run as parallel tasks on an Executor; the serial path
+// is the same builder on an inline executor. One consequence of the
+// transpose: within one backward adjacency list, sources appear in
+// forward-CSR order (ascending source, stream order per source), not in
+// raw stream order as the historical pair-scatter produced — the
+// neighbor *sets* are identical, and the order is deterministic at any
+// thread count.
 
 #ifndef GMARK_GRAPH_GRAPH_H_
 #define GMARK_GRAPH_GRAPH_H_
 
 #include <cstdint>
+#include <functional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/graph_config.h"
 #include "util/result.h"
 
 namespace gmark {
+
+class Executor;  // parallel/executor.h
 
 /// \brief One labeled edge (source, predicate, target).
 struct Edge {
@@ -28,8 +51,52 @@ struct Edge {
 /// \brief Immutable graph instance with per-predicate CSR indexes.
 class Graph {
  public:
+  /// \brief Receives contiguous blocks of an edge stream.
+  using EdgeBlockVisitor = std::function<Status(std::span<const Edge>)>;
+
+  /// \brief A replayable stream of one predicate's edges in canonical
+  /// order: invoking it walks the whole stream through the visitor. The
+  /// builder invokes each stream exactly twice (degree-count pass, then
+  /// scatter pass), so the stream must yield identical edges both times.
+  using EdgeStream = std::function<Status(const EdgeBlockVisitor&)>;
+
+  /// \brief Streaming per-predicate CSR construction (the shard-native
+  /// build path). Each registered predicate stream is consumed by an
+  /// independent task: two-pass counting sort for the forward CSR, then
+  /// a counting transpose for the backward CSR — no pair vectors, no
+  /// global edge list. Tasks run on the supplied Executor, so the build
+  /// parallelizes across predicates; with an inline (1-thread) executor
+  /// the same code is the serial path.
+  class Builder {
+   public:
+    Builder(NodeLayout layout, size_t predicate_count);
+
+    /// \brief Register predicate `a`'s edge stream. `release`, if
+    /// given, is called once the stream has been consumed for the last
+    /// time — the hook that lets shard stores free (or unlink) a
+    /// predicate's shards as soon as its CSR is built. Unregistered
+    /// predicates get empty adjacency. Streaming an edge whose
+    /// predicate is not `a`, or whose endpoints fall outside the
+    /// layout, fails the build.
+    void SetStream(PredicateId a, EdgeStream stream,
+                   std::function<void()> release = {});
+
+    /// \brief Consume the streams and assemble the graph. One task per
+    /// predicate is submitted to `executor`; the call blocks until all
+    /// finish. The builder is single-use.
+    Result<Graph> Build(Executor* executor) &&;
+
+   private:
+    NodeLayout layout_;
+    size_t predicate_count_;
+    std::vector<EdgeStream> streams_;
+    std::vector<std::function<void()>> releases_;
+  };
+
   /// \brief Build from a node layout and an edge list. Edges referencing
-  /// nodes outside the layout are rejected.
+  /// nodes outside the layout or unknown predicates are rejected. This
+  /// is the Builder run on per-predicate filter streams over `edges`
+  /// with an inline executor (the 1-thread special case).
   static Result<Graph> Build(NodeLayout layout, size_t predicate_count,
                              std::vector<Edge> edges);
 
@@ -57,9 +124,35 @@ class Graph {
   /// \brief Number of a-labeled edges.
   size_t EdgeCount(PredicateId a) const { return forward_[a].targets.size(); }
 
-  /// \brief All edges with predicate `a` as (source, target) pairs, in
-  /// CSR order. Intended for engines that scan base relations.
-  std::vector<std::pair<NodeId, NodeId>> EdgesOf(PredicateId a) const;
+  /// \brief Zero-copy scan of every a-labeled edge in forward-CSR order:
+  /// fn(source, target) per edge, no materialized pair vector. This is
+  /// the base-relation scan engines and writers use.
+  template <typename Fn>
+  void ForEachEdge(PredicateId a, Fn&& fn) const {
+    const Csr& csr = forward_[a];
+    for (NodeId v = 0; v + 1 < csr.offsets.size(); ++v) {
+      for (size_t i = csr.offsets[v]; i < csr.offsets[v + 1]; ++i) {
+        fn(v, csr.targets[i]);
+      }
+    }
+  }
+
+  /// \brief Raw forward-CSR views (num_nodes + 1 offsets; targets in
+  /// scan order). The byte-identity surface of the build tests/benches.
+  std::span<const size_t> OutOffsets(PredicateId a) const {
+    return forward_[a].offsets;
+  }
+  std::span<const NodeId> OutTargets(PredicateId a) const {
+    return forward_[a].targets;
+  }
+
+  /// \brief Raw backward-CSR views (sources, indexed by target).
+  std::span<const size_t> InOffsets(PredicateId a) const {
+    return backward_[a].offsets;
+  }
+  std::span<const NodeId> InTargets(PredicateId a) const {
+    return backward_[a].targets;
+  }
 
  private:
   struct Csr {
@@ -67,8 +160,8 @@ class Graph {
     std::vector<NodeId> targets;
   };
 
-  static Csr BuildCsr(int64_t num_nodes,
-                      const std::vector<std::pair<NodeId, NodeId>>& pairs);
+  /// \brief Backward CSR from a forward CSR by counting transpose.
+  static Csr TransposeCsr(int64_t num_nodes, const Csr& forward);
 
   NodeLayout layout_;
   size_t predicate_count_ = 0;

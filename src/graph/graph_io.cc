@@ -39,9 +39,8 @@ Status WriteNTriples(const Graph& graph, const GraphSchema& schema,
                      std::ostream* out, bool include_node_types) {
   NTriplesSink sink(out, &schema);
   for (PredicateId p = 0; p < graph.predicate_count(); ++p) {
-    for (const auto& [src, trg] : graph.EdgesOf(p)) {
-      sink.Append(src, p, trg);
-    }
+    graph.ForEachEdge(
+        p, [&sink, p](NodeId src, NodeId trg) { sink.Append(src, p, trg); });
   }
   if (include_node_types) {
     for (NodeId v = 0; v < static_cast<NodeId>(graph.num_nodes()); ++v) {
@@ -57,9 +56,8 @@ Status WriteCsv(const Graph& graph, const GraphSchema& schema,
                 std::ostream* out) {
   CsvSink sink(out, &schema);
   for (PredicateId p = 0; p < graph.predicate_count(); ++p) {
-    for (const auto& [src, trg] : graph.EdgesOf(p)) {
-      sink.Append(src, p, trg);
-    }
+    graph.ForEachEdge(
+        p, [&sink, p](NodeId src, NodeId trg) { sink.Append(src, p, trg); });
   }
   if (!*out) return Status::IOError("stream write failed");
   return Status::OK();

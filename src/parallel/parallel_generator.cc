@@ -14,6 +14,7 @@
 #include "parallel/spill_sink.h"
 #include "parallel/thread_pool.h"
 #include "util/random.h"
+#include "util/timer.h"
 
 namespace gmark {
 
@@ -29,6 +30,19 @@ using internal::SlotIndex;
 using ShardStoreFactory =
     std::function<Result<ShardStore*>(size_t shard_count,
                                       int64_t total_edges)>;
+
+/// The static shard -> constraint -> predicate mapping of one run:
+/// shards are canonically numbered by (constraint, chunk), so each
+/// constraint owns one contiguous index range. The shard-native graph
+/// build reads per-predicate edge streams straight off these ranges.
+struct ShardPlan {
+  struct ConstraintShards {
+    PredicateId predicate = 0;
+    size_t begin = 0;  // First shard index of this constraint.
+    size_t end = 0;    // One past the last.
+  };
+  std::vector<ConstraintShards> constraints;
+};
 
 // RNG stream phases within one constraint. Each (constraint, phase,
 // chunk) triple owns an independent SplitMix64-derived stream.
@@ -61,13 +75,16 @@ struct SideBuild {
 
 /// The full parallel run: three barrier phases (build, shuffle, emit),
 /// each fanning out over every constraint at once so cross-constraint
-/// and intra-constraint parallelism compose. The destination store is
-/// created by `factory` between phases 2 and 3, when the exact edge
-/// total is known.
+/// and intra-constraint parallelism compose. Tasks run on the caller's
+/// `executor` (shared with any downstream indexing). The destination
+/// store is created by `factory` between phases 2 and 3, when the exact
+/// edge total is known; `plan_out`, if non-null, receives the static
+/// shard -> predicate mapping.
 Status GenerateShards(const GraphConfiguration& config,
-                      const GeneratorOptions& options,
-                      const ShardStoreFactory& factory) {
-  GMARK_ASSIGN_OR_RETURN(NodeLayout layout, NodeLayout::Create(config));
+                      const NodeLayout& layout,
+                      const GeneratorOptions& options, Executor* executor_ptr,
+                      const ShardStoreFactory& factory,
+                      ShardPlan* plan_out = nullptr) {
   const auto& constraints = config.schema.edge_constraints();
   const int64_t chunk_size = options.chunk_size < 1 ? 1 : options.chunk_size;
   const uint64_t seed = config.seed;
@@ -80,7 +97,7 @@ Status GenerateShards(const GraphConfiguration& config,
     plans.push_back(plan);
   }
 
-  Executor executor(options.num_threads);
+  Executor& executor = *executor_ptr;
 
   // Phase 1 — build slot vectors, chunked over node ranges. Chunk k of
   // a side draws its nodes' degrees from the stream (ci, side, k), so
@@ -182,6 +199,7 @@ Status GenerateShards(const GraphConfiguration& config,
   std::vector<size_t> shard_base(constraints.size(), 0);
   size_t total_shards = 0;
   int64_t total_edges = 0;
+  if (plan_out != nullptr) plan_out->constraints.clear();
   for (size_t ci = 0; ci < constraints.size(); ++ci) {
     const ConstraintPlan& plan = plans[ci];
     if (plan.empty()) continue;
@@ -199,6 +217,10 @@ Status GenerateShards(const GraphConfiguration& config,
     total_shards += static_cast<size_t>(NumChunks(edge_counts[ci],
                                                   chunk_size));
     total_edges += edge_counts[ci];
+    if (plan_out != nullptr) {
+      plan_out->constraints.push_back(ShardPlan::ConstraintShards{
+          constraints[ci].predicate, shard_base[ci], total_shards});
+    }
   }
   GMARK_ASSIGN_OR_RETURN(ShardStore* out, factory(total_shards, total_edges));
   GMARK_RETURN_NOT_OK(out->Reset(total_shards));
@@ -254,24 +276,39 @@ bool ShouldSpill(const GeneratorOptions& options, int64_t total_edges) {
 
 }  // namespace internal
 
+namespace {
+
+/// In-memory-or-spill store selection, shared by the streaming and the
+/// indexed entry points; decided once the exact edge total is known.
+ShardStoreFactory AutoSpillFactory(const GeneratorOptions& options,
+                                   std::unique_ptr<ShardStore>* store,
+                                   bool* spilled) {
+  return [store, spilled, &options](size_t,
+                                    int64_t total_edges) -> Result<ShardStore*> {
+    *spilled = internal::ShouldSpill(options, total_edges);
+    if (*spilled) {
+      SpillSink::Options spill_options;
+      spill_options.dir = options.spill_dir;
+      *store = std::make_unique<SpillSink>(spill_options);
+    } else {
+      *store = std::make_unique<ShardedSink>();
+    }
+    return store->get();
+  };
+}
+
+}  // namespace
+
 Status ParallelGenerateToSink(const GraphConfiguration& config,
                               EdgeSink* sink, const GeneratorOptions& options,
                               GenerateStats* stats) {
+  GMARK_ASSIGN_OR_RETURN(NodeLayout layout, NodeLayout::Create(config));
   std::unique_ptr<ShardStore> store;
   bool spilled = false;
-  auto factory = [&store, &spilled, &options](size_t, int64_t total_edges)
-      -> Result<ShardStore*> {
-    spilled = internal::ShouldSpill(options, total_edges);
-    if (spilled) {
-      SpillSink::Options spill_options;
-      spill_options.dir = options.spill_dir;
-      store = std::make_unique<SpillSink>(spill_options);
-    } else {
-      store = std::make_unique<ShardedSink>();
-    }
-    return store.get();
-  };
-  GMARK_RETURN_NOT_OK(GenerateShards(config, options, factory));
+  Executor executor(options.num_threads);
+  GMARK_RETURN_NOT_OK(GenerateShards(
+      config, layout, options, &executor,
+      AutoSpillFactory(options, &store, &spilled)));
   GMARK_RETURN_NOT_OK(store->Drain(sink));
   if (stats != nullptr) {
     stats->total_edges = store->TotalEdges();
@@ -287,15 +324,63 @@ Status ParallelGenerateEdges(const GraphConfiguration& config, EdgeSink* sink,
 }
 
 Result<Graph> ParallelGenerateGraph(const GraphConfiguration& config,
-                                    const GeneratorOptions& options) {
+                                    const GeneratorOptions& options,
+                                    GenerateStats* stats) {
+  WallTimer timer;
   GMARK_ASSIGN_OR_RETURN(NodeLayout layout, NodeLayout::Create(config));
-  ShardedSink shards;
-  auto factory = [&shards](size_t, int64_t) -> Result<ShardStore*> {
-    return &shards;
-  };
-  GMARK_RETURN_NOT_OK(GenerateShards(config, options, factory));
-  return Graph::Build(std::move(layout), config.schema.predicate_count(),
-                      shards.TakeEdges());
+  const double layout_seconds = timer.ElapsedSeconds();
+
+  std::unique_ptr<ShardStore> store;
+  bool spilled = false;
+  Executor executor(options.num_threads);
+  ShardPlan plan;
+  timer.Restart();
+  GMARK_RETURN_NOT_OK(GenerateShards(config, layout, options, &executor,
+                                     AutoSpillFactory(options, &store,
+                                                      &spilled),
+                                     &plan));
+  const double generate_seconds = timer.ElapsedSeconds();
+
+  // Shard-native indexing: group each predicate's static shard ranges
+  // (several when multiple constraints share a predicate) and hand the
+  // builder a replayable stream plus a release hook per predicate. The
+  // builder's per-predicate counting-sort tasks run on the same
+  // executor that just generated the shards.
+  timer.Restart();
+  const size_t predicate_count = config.schema.predicate_count();
+  std::vector<std::vector<std::pair<size_t, size_t>>> ranges(predicate_count);
+  for (const ShardPlan::ConstraintShards& cs : plan.constraints) {
+    if (cs.end > cs.begin) ranges[cs.predicate].emplace_back(cs.begin, cs.end);
+  }
+  Graph::Builder builder(std::move(layout), predicate_count);
+  ShardStore* raw_store = store.get();
+  for (PredicateId p = 0; p < predicate_count; ++p) {
+    if (ranges[p].empty()) continue;
+    builder.SetStream(
+        p,
+        [raw_store, r = ranges[p]](const Graph::EdgeBlockVisitor& visit)
+            -> Status {
+          for (const auto& [begin, end] : r) {
+            GMARK_RETURN_NOT_OK(raw_store->VisitRange(begin, end, visit));
+          }
+          return Status::OK();
+        },
+        [raw_store, r = ranges[p]] {
+          for (const auto& [begin, end] : r) {
+            raw_store->ReleaseRange(begin, end);
+          }
+        });
+  }
+  Result<Graph> graph = std::move(builder).Build(&executor);
+  if (stats != nullptr) {
+    stats->index_seconds = timer.ElapsedSeconds();
+    stats->layout_seconds = layout_seconds;
+    stats->generate_seconds = generate_seconds;
+    stats->total_edges = store->TotalEdges();
+    stats->peak_resident_edge_bytes = store->PeakResidentEdgeBytes();
+    stats->spilled = spilled;
+  }
+  return graph;
 }
 
 }  // namespace gmark

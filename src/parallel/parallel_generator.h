@@ -42,34 +42,31 @@ namespace gmark {
 Status ParallelGenerateEdges(const GraphConfiguration& config, EdgeSink* sink,
                              const GeneratorOptions& options = {});
 
-/// \brief Observability for one streaming generation run (benchmarks
-/// and tests; also what the spill bench reports as "peak edge memory").
-struct GenerateStats {
-  size_t total_edges = 0;
-  /// High-water mark of edge bytes resident in the shard store: the
-  /// whole edge set for the in-memory path, ~ the in-flight chunks for
-  /// the spill path.
-  size_t peak_resident_edge_bytes = 0;
-  bool spilled = false;
-};
-
 /// \brief Streaming parallel generation: run the parallel algorithm and
 /// drain the result straight into `sink` without ever materializing the
 /// full edge set in one vector. Once the exact edge total is known
 /// (after the slot-building phase), the shards are kept in memory or
 /// spilled to per-shard temp files according to options.spill_dir /
 /// options.spill_threshold_bytes; either way the bytes reaching `sink`
-/// are identical.
+/// are identical. (GenerateStats lives in graph/generator.h.)
 Status ParallelGenerateToSink(const GraphConfiguration& config,
                               EdgeSink* sink,
                               const GeneratorOptions& options = {},
                               GenerateStats* stats = nullptr);
 
-/// \brief Parallel generation of a fully indexed in-memory graph.
-/// Always uses in-memory shards: the indexed graph needs the full edge
-/// vector resident anyway, so spilling could not lower the peak.
+/// \brief Parallel generation of a fully indexed in-memory graph,
+/// shard-native: edges flow from the ShardStore straight into
+/// per-predicate CSRs on the same thread pool (Graph::Builder), with no
+/// global edge vector and no backward pair vectors. Shards are
+/// canonically numbered by constraint, so each predicate's shard ranges
+/// are static; the spill options are honored — past the threshold the
+/// shards stage on disk and the builder's two passes stream them back,
+/// so graphs whose raw edge list exceeds RAM remain indexable. The
+/// resulting CSRs are byte-identical at any thread count, spilled or
+/// not.
 Result<Graph> ParallelGenerateGraph(const GraphConfiguration& config,
-                                    const GeneratorOptions& options = {});
+                                    const GeneratorOptions& options = {},
+                                    GenerateStats* stats = nullptr);
 
 namespace internal {
 

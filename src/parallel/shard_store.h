@@ -4,14 +4,21 @@
 // chunk) order before any task runs; a ShardStore receives each shard's
 // finished edge buffer exactly once and replays them by ascending index
 // at drain time, which is what makes the output independent of
-// scheduling. Two implementations exist: ShardedSink keeps every shard
-// resident (fast, memory ~ total edges) and SpillSink writes each shard
-// to its own temp file (memory ~ in-flight chunks, disk ~ total edges).
+// scheduling. Because shards are canonically numbered by constraint,
+// the shard -> predicate mapping is static, and consumers (notably the
+// shard-native Graph::Builder) can read one predicate's contiguous
+// shard ranges concurrently with other predicates' via VisitRange, then
+// free them with ReleaseRange as soon as that predicate is indexed.
+// Two implementations exist: ShardedSink keeps every shard resident
+// (fast, memory ~ total edges) and SpillSink writes each shard to its
+// own temp file (memory ~ in-flight chunks, disk ~ total edges).
 
 #ifndef GMARK_PARALLEL_SHARD_STORE_H_
 #define GMARK_PARALLEL_SHARD_STORE_H_
 
 #include <cstddef>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "graph/generator.h"
@@ -25,15 +32,25 @@ namespace gmark {
 /// Contract: Reset(n) runs once, before any task; PutShard(i, edges) is
 /// called at most once per index — distinct indices may be written
 /// concurrently, so implementations must not share mutable state across
-/// indices; Finish() and Drain() run on the coordinating thread after
-/// every task has completed. PutShard never fails in-line: I/O errors
-/// are recorded per shard and surfaced by Finish().
+/// indices; Finish() runs on the coordinating thread after every task
+/// has completed. PutShard never fails in-line: I/O errors are recorded
+/// per shard and surfaced by Finish(). After Finish(), VisitRange is a
+/// read-only replay and may run concurrently from several threads (any
+/// ranges); ReleaseRange frees shard storage and may run concurrently
+/// for DISJOINT ranges — no Visit of a released shard afterwards.
 class ShardStore {
  public:
+  /// \brief Receives contiguous blocks of a shard's edges during a
+  /// range visit.
+  using EdgeBlockVisitor = std::function<Status(std::span<const Edge>)>;
+
   virtual ~ShardStore() = default;
 
   /// \brief Size the store to `shard_count` empty shards.
   virtual Status Reset(size_t shard_count) = 0;
+
+  /// \brief Number of shards the store was last Reset to.
+  virtual size_t shard_count() const = 0;
 
   /// \brief Hand shard `index` its final edge buffer (moved in).
   virtual void PutShard(size_t index, std::vector<Edge> edges) = 0;
@@ -42,15 +59,35 @@ class ShardStore {
   /// per-shard errors.
   virtual Status Finish() = 0;
 
-  /// \brief Total edges across all shards received so far.
+  /// \brief Total edges across all shards received so far (released
+  /// shards stay counted).
   virtual size_t TotalEdges() const = 0;
 
   /// \brief High-water mark of edge bytes simultaneously resident in
   /// memory (buffers owned by or in transit through the store).
   virtual size_t PeakResidentEdgeBytes() const = 0;
 
+  /// \brief Replay shards [begin, end) in ascending index order through
+  /// `visit`, block by block. Thread-safe after Finish() for concurrent
+  /// calls on any ranges; a visitor error aborts the replay.
+  virtual Status VisitRange(size_t begin, size_t end,
+                            const EdgeBlockVisitor& visit) const = 0;
+
+  /// \brief Free the storage backing shards [begin, end) (buffers or
+  /// temp files). Thread-safe for concurrent calls on disjoint ranges;
+  /// released shards must not be visited again.
+  virtual void ReleaseRange(size_t begin, size_t end) = 0;
+
   /// \brief Stream every edge into `out` in canonical shard order.
-  virtual Status Drain(EdgeSink* out) = 0;
+  Status Drain(EdgeSink* out) const {
+    return VisitRange(0, shard_count(),
+                      [out](std::span<const Edge> block) -> Status {
+                        for (const Edge& e : block) {
+                          out->Append(e.source, e.predicate, e.target);
+                        }
+                        return Status::OK();
+                      });
+  }
 };
 
 }  // namespace gmark

@@ -1,25 +1,40 @@
 #include "parallel/sharded_sink.h"
 
+#include <cassert>
 #include <utility>
 
 namespace gmark {
 
 size_t ShardedSink::TotalEdges() const {
-  size_t total = 0;
+  size_t total = released_edges_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) total += shard.size();
   return total;
 }
 
-Status ShardedSink::Drain(EdgeSink* out) {
-  for (const auto& shard : shards_) {
-    for (const Edge& e : shard) {
-      out->Append(e.source, e.predicate, e.target);
-    }
+Status ShardedSink::VisitRange(size_t begin, size_t end,
+                               const EdgeBlockVisitor& visit) const {
+  for (size_t index = begin; index < end && index < shards_.size(); ++index) {
+    if (shards_[index].empty()) continue;
+    GMARK_RETURN_NOT_OK(visit({shards_[index].data(), shards_[index].size()}));
   }
   return Status::OK();
 }
 
+void ShardedSink::ReleaseRange(size_t begin, size_t end) {
+  size_t freed = 0;
+  for (size_t index = begin; index < end && index < shards_.size(); ++index) {
+    freed += shards_[index].size();
+    // Swap-with-empty actually returns the capacity; clear() would not.
+    std::vector<Edge>().swap(shards_[index]);
+  }
+  released_edges_.fetch_add(freed, std::memory_order_relaxed);
+}
+
 std::vector<Edge> ShardedSink::TakeEdges() {
+  // Legacy concat path only: once ReleaseRange has freed any shard the
+  // full edge set no longer exists to take.
+  assert(released_edges_.load(std::memory_order_relaxed) == 0 &&
+         "TakeEdges after ReleaseRange would silently drop edges");
   std::vector<Edge> all;
   all.reserve(TotalEdges());
   for (auto& shard : shards_) {

@@ -6,12 +6,16 @@
 // by index reproduces one well-defined edge order regardless of which
 // thread ran which task or in what order tasks finished. Determinism
 // therefore costs nothing on the hot path: the only synchronization in
-// the whole sink is the up-front Reset and the final concatenation,
-// both of which happen outside the parallel region.
+// the whole sink is the up-front Reset and the final replay/release,
+// both of which happen outside the parallel emission region. VisitRange
+// hands out spans over the shard buffers directly (zero-copy), and
+// ReleaseRange frees individual shard buffers — distinct vector
+// elements, so disjoint ranges release concurrently without locking.
 
 #ifndef GMARK_PARALLEL_SHARDED_SINK_H_
 #define GMARK_PARALLEL_SHARDED_SINK_H_
 
+#include <atomic>
 #include <cstddef>
 #include <utility>
 #include <vector>
@@ -22,13 +26,14 @@
 
 namespace gmark {
 
-/// \brief Per-task edge buffers, concatenated in canonical shard order.
+/// \brief Per-task edge buffers, replayed in canonical shard order.
 class ShardedSink : public ShardStore {
  public:
   /// \brief Discard all edges and size the sink to `shard_count` empty
   /// shards. Must be called before tasks run; never during.
   Status Reset(size_t shard_count) override {
     shards_.assign(shard_count, {});
+    released_edges_.store(0, std::memory_order_relaxed);
     return Status::OK();
   }
 
@@ -45,26 +50,35 @@ class ShardedSink : public ShardStore {
   /// fill path).
   std::vector<Edge>& shard(size_t index) { return shards_[index]; }
 
-  size_t shard_count() const { return shards_.size(); }
+  size_t shard_count() const override { return shards_.size(); }
 
-  /// \brief Total edges across all shards.
+  /// \brief Total edges across all shards, including released ones.
   size_t TotalEdges() const override;
 
-  /// \brief Every handed-over shard stays resident until drained, so
-  /// the high-water mark is simply the current total.
+  /// \brief Every handed-over shard stays resident until released, so
+  /// the high-water mark is simply the running total.
   size_t PeakResidentEdgeBytes() const override {
     return TotalEdges() * sizeof(Edge);
   }
 
-  /// \brief Stream every edge into `out` in canonical shard order.
-  Status Drain(EdgeSink* out) override;
+  /// \brief Spans straight over the shard buffers — no copy.
+  Status VisitRange(size_t begin, size_t end,
+                    const EdgeBlockVisitor& visit) const override;
+
+  /// \brief Free the buffers of shards [begin, end); their edge count
+  /// stays in TotalEdges.
+  void ReleaseRange(size_t begin, size_t end) override;
 
   /// \brief Concatenate all shards into one vector (canonical order),
-  /// leaving the sink empty.
+  /// leaving the sink empty. Must not follow ReleaseRange (asserts):
+  /// released buffers are gone, so the full edge set no longer exists.
   std::vector<Edge> TakeEdges();
 
  private:
   std::vector<std::vector<Edge>> shards_;
+  /// Edges whose buffers ReleaseRange already freed; atomic because
+  /// per-predicate build tasks release their ranges concurrently.
+  std::atomic<size_t> released_edges_{0};
 };
 
 }  // namespace gmark

@@ -67,12 +67,7 @@ std::filesystem::path SpillSink::ShardPath(size_t index) const {
   return run_dir_ / ("shard-" + std::to_string(index) + ".edges");
 }
 
-void SpillSink::PutShard(size_t index, std::vector<Edge> edges) {
-  Shard& shard = shards_[index];
-  shard.edge_count = edges.size();
-  if (edges.empty()) return;
-
-  const size_t bytes = edges.size() * sizeof(Edge);
+void SpillSink::TrackResident(size_t bytes) const {
   size_t resident =
       resident_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
   size_t peak = peak_resident_bytes_.load(std::memory_order_relaxed);
@@ -80,6 +75,15 @@ void SpillSink::PutShard(size_t index, std::vector<Edge> edges) {
          !peak_resident_bytes_.compare_exchange_weak(
              peak, resident, std::memory_order_relaxed)) {
   }
+}
+
+void SpillSink::PutShard(size_t index, std::vector<Edge> edges) {
+  Shard& shard = shards_[index];
+  shard.edge_count = edges.size();
+  if (edges.empty()) return;
+
+  const size_t bytes = edges.size() * sizeof(Edge);
+  TrackResident(bytes);
 
   std::ofstream out(ShardPath(index),
                     std::ios::binary | std::ios::trunc | std::ios::out);
@@ -111,36 +115,61 @@ size_t SpillSink::TotalEdges() const {
   return total;
 }
 
-Status SpillSink::Drain(EdgeSink* out) {
+Status SpillSink::VisitRange(size_t begin, size_t end,
+                             const EdgeBlockVisitor& visit) const {
   const size_t block_edges =
       options_.read_buffer_edges < 1 ? 1 : options_.read_buffer_edges;
+  // Per-call buffer: concurrent visits from different build tasks must
+  // not share read state. Its bytes count toward the resident
+  // high-water mark — read buffers are edge memory too.
   std::vector<Edge> block;
-  for (size_t index = 0; index < shards_.size(); ++index) {
+  size_t tracked = 0;
+  Status status;
+  for (size_t index = begin;
+       status.ok() && index < end && index < shards_.size(); ++index) {
     const Shard& shard = shards_[index];
-    GMARK_RETURN_NOT_OK(shard.status);
+    if (!shard.status.ok()) {
+      status = shard.status;
+      break;
+    }
     if (shard.edge_count == 0) continue;
     std::ifstream in(ShardPath(index), std::ios::binary | std::ios::in);
     if (!in) {
-      return Status::IOError("cannot reopen spill shard " +
-                             ShardPath(index).string());
+      status = Status::IOError("cannot reopen spill shard " +
+                               ShardPath(index).string());
+      break;
     }
     size_t remaining = shard.edge_count;
     while (remaining > 0) {
       const size_t n = remaining < block_edges ? remaining : block_edges;
+      if (n > tracked) {
+        TrackResident((n - tracked) * sizeof(Edge));
+        tracked = n;
+      }
       block.resize(n);
       in.read(reinterpret_cast<char*>(block.data()),
               static_cast<std::streamsize>(n * sizeof(Edge)));
       if (static_cast<size_t>(in.gcount()) != n * sizeof(Edge)) {
-        return Status::IOError("short read from spill shard " +
-                               ShardPath(index).string());
+        status = Status::IOError("short read from spill shard " +
+                                 ShardPath(index).string());
+        break;
       }
-      for (const Edge& e : block) {
-        out->Append(e.source, e.predicate, e.target);
-      }
+      status = visit({block.data(), block.size()});
+      if (!status.ok()) break;
       remaining -= n;
     }
   }
-  return Status::OK();
+  resident_bytes_.fetch_sub(tracked * sizeof(Edge),
+                            std::memory_order_relaxed);
+  return status;
+}
+
+void SpillSink::ReleaseRange(size_t begin, size_t end) {
+  for (size_t index = begin; index < end && index < shards_.size(); ++index) {
+    if (shards_[index].edge_count == 0) continue;
+    std::error_code ec;
+    std::filesystem::remove(ShardPath(index), ec);  // Best effort: temp data.
+  }
 }
 
 void SpillSink::RemoveRunDir() {

@@ -58,17 +58,29 @@ class SpillSink : public ShardStore {
   /// \brief First error recorded by any PutShard, if any.
   Status Finish() override;
 
+  size_t shard_count() const override { return shards_.size(); }
+
   size_t TotalEdges() const override;
 
   /// \brief Largest number of edge bytes simultaneously in transit
-  /// through PutShard (buffers freed as soon as their file is written).
+  /// through the store: PutShard write buffers plus VisitRange read
+  /// buffers (each freed as soon as its I/O completes).
   size_t PeakResidentEdgeBytes() const override {
     return peak_resident_bytes_.load(std::memory_order_relaxed);
   }
 
-  /// \brief Read every shard file back in canonical index order and
-  /// stream its edges into `out`, block by block.
-  Status Drain(EdgeSink* out) override;
+  /// \brief Read shard files [begin, end) back in canonical index order
+  /// and replay their edges block by block (block size bounds the read
+  /// memory). Each call opens its own streams and owns its own buffer,
+  /// so concurrent visits of any ranges are safe after Finish().
+  Status VisitRange(size_t begin, size_t end,
+                    const EdgeBlockVisitor& visit) const override;
+
+  /// \brief Unlink the files of shards [begin, end) (best effort; the
+  /// run directory itself stays until destruction). Edge counts stay in
+  /// TotalEdges. Distinct files, so disjoint ranges release
+  /// concurrently.
+  void ReleaseRange(size_t begin, size_t end) override;
 
   /// \brief The per-run spill directory (empty before Reset).
   const std::filesystem::path& run_dir() const { return run_dir_; }
@@ -82,11 +94,16 @@ class SpillSink : public ShardStore {
   std::filesystem::path ShardPath(size_t index) const;
   void RemoveRunDir();
 
+  /// Add `bytes` to the resident counter and fold the result into the
+  /// high-water mark (const: VisitRange is logically read-only but its
+  /// buffers are still resident edge memory).
+  void TrackResident(size_t bytes) const;
+
   Options options_;
   std::filesystem::path run_dir_;
   std::vector<Shard> shards_;
-  std::atomic<size_t> resident_bytes_{0};
-  std::atomic<size_t> peak_resident_bytes_{0};
+  mutable std::atomic<size_t> resident_bytes_{0};
+  mutable std::atomic<size_t> peak_resident_bytes_{0};
 };
 
 }  // namespace gmark

@@ -37,10 +37,10 @@ TEST(GeneratorTest, EdgesRespectConstraintEndpointTypes) {
   Graph g = GenerateGraph(config).ValueOrDie();
   // authors edges must go researcher -> paper, etc., per Fig. 2c.
   for (const EdgeConstraint& c : config.schema.edge_constraints()) {
-    for (const auto& [src, trg] : g.EdgesOf(c.predicate)) {
+    g.ForEachEdge(c.predicate, [&](NodeId src, NodeId trg) {
       EXPECT_EQ(g.TypeOf(src), c.source_type);
       EXPECT_EQ(g.TypeOf(trg), c.target_type);
-    }
+    });
   }
 }
 

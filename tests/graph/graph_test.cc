@@ -18,6 +18,13 @@ NodeLayout TinyLayout() {
   return NodeLayout::Create(config).ValueOrDie();
 }
 
+std::vector<std::pair<NodeId, NodeId>> CollectEdges(const Graph& g,
+                                                    PredicateId p) {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  g.ForEachEdge(p, [&out](NodeId s, NodeId t) { out.emplace_back(s, t); });
+  return out;
+}
+
 TEST(GraphTest, BuildsAdjacencyBothDirections) {
   std::vector<Edge> edges{{0, 0, 1}, {0, 0, 2}, {1, 0, 2}, {3, 1, 0}};
   Graph g = Graph::Build(TinyLayout(), 2, edges).ValueOrDie();
@@ -39,13 +46,33 @@ TEST(GraphTest, BuildsAdjacencyBothDirections) {
             (std::vector<NodeId>{3}));
 }
 
-TEST(GraphTest, EdgesOfRoundTrips) {
+TEST(GraphTest, ForEachEdgeRoundTrips) {
   std::vector<Edge> edges{{0, 0, 1}, {2, 0, 3}, {4, 0, 5}};
   Graph g = Graph::Build(TinyLayout(), 1, edges).ValueOrDie();
-  auto pairs = g.EdgesOf(0);
+  auto pairs = CollectEdges(g, 0);
   ASSERT_EQ(pairs.size(), 3u);
   EXPECT_EQ(pairs[0], (std::pair<NodeId, NodeId>{0, 1}));
   EXPECT_EQ(pairs[2], (std::pair<NodeId, NodeId>{4, 5}));
+}
+
+TEST(GraphTest, CsrSpanViewsMatchForEachEdge) {
+  std::vector<Edge> edges{{0, 0, 1}, {0, 0, 2}, {1, 0, 2}, {3, 1, 0}};
+  Graph g = Graph::Build(TinyLayout(), 2, edges).ValueOrDie();
+  auto offsets = g.OutOffsets(0);
+  auto targets = g.OutTargets(0);
+  ASSERT_EQ(offsets.size(), static_cast<size_t>(g.num_nodes()) + 1);
+  EXPECT_EQ(targets.size(), g.EdgeCount(0));
+  size_t i = 0;
+  g.ForEachEdge(0, [&](NodeId src, NodeId trg) {
+    EXPECT_GE(i, offsets[src]);
+    EXPECT_LT(i, offsets[src + 1]);
+    EXPECT_EQ(targets[i], trg);
+    ++i;
+  });
+  EXPECT_EQ(i, targets.size());
+  // Backward views cover the same edges.
+  EXPECT_EQ(g.InTargets(0).size(), g.EdgeCount(0));
+  EXPECT_EQ(g.InOffsets(1).size(), offsets.size());
 }
 
 TEST(GraphTest, RejectsOutOfRangeNodes) {

@@ -104,10 +104,10 @@ TEST(SatReductionTest, GeneratorAlwaysEmitsAGraphWithoutBacktracking) {
         config.schema.PredicateIdOf("b" + std::to_string(i)).ValueOrDie();
     TypeId type_bi =
         config.schema.TypeIdOf("B" + std::to_string(i)).ValueOrDie();
-    for (const auto& [src, trg] : graph->EdgesOf(bi)) {
+    graph->ForEachEdge(bi, [&](NodeId src, NodeId trg) {
       (void)src;
       EXPECT_EQ(graph->TypeOf(trg), type_bi);
-    }
+    });
   }
 }
 
