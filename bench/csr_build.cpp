@@ -3,15 +3,20 @@
 // forward AND backward pair vectors, counting-sort each serially)
 // versus the shard-native parallel build (per-predicate streams drained
 // straight off the ShardStore into CSRs on the thread pool, backward by
-// counting transpose — no global edge list, no pair vectors).
+// counting transpose — no global edge list, no pair vectors), plus the
+// intra-predicate ablation: one task per predicate (the PR 4 build,
+// index_max_groups=1) versus the chunked count-scan-scatter build
+// (auto grouping) on a skewed schema where one predicate owns ~90% of
+// the edges — the workload whose per-predicate speedup flatlines at the
+// predicate count while the chunked build keeps scaling.
 //
-// Expected shape: index wall time drops with threads (per-predicate
-// tasks are independent) and the staged-edge model peak is edge_set
-// bytes (in-memory) or ~threads*chunk_size (spill) instead of the seed
-// path's edge list + two pair-vector copies (~3.3x the edge set).
-// Every run's CSR arrays are checked byte-identical to the 1-thread
-// build (forward also against the independently built legacy index);
-// any divergence exits non-zero, which is what the CI smoke relies on.
+// Expected shape: index wall time drops with threads and the staged-
+// edge model peak is edge_set bytes (in-memory) or ~threads*chunk_size
+// (spill) instead of the seed path's edge list + two pair-vector copies
+// (~3.3x the edge set). Every run's CSR arrays are checked
+// byte-identical to the 1-thread build (forward also against the
+// independently built legacy index); any divergence exits non-zero,
+// which is what the CI smoke relies on.
 //
 // GMARK_SIZES=<a,b,c> picks graph sizes; GMARK_THREADS=<a,b,c> picks
 // thread counts; GMARK_SMOKE=1 shrinks everything for CI runs.
@@ -40,11 +45,45 @@ using bench::PeakRssBytes;
 using bench::SmokeMode;
 using bench::ThreadCounts;
 
-GeneratorOptions Options(int threads, bool spill) {
+GeneratorOptions Options(int threads, bool spill, int max_groups = 0) {
   GeneratorOptions options;
   options.num_threads = threads;
+  options.index_max_groups = max_groups;
   if (spill) options.spill_threshold_bytes = 0;
   return options;
+}
+
+/// A deliberately skewed schema: predicate "big" owns ~90% of all edges
+/// — the per-predicate-task build cannot parallelize it, the chunked
+/// build can (mirrors tests/graph/chunked_build_test.cc).
+GraphConfiguration MakeSkewedConfig(int64_t n, uint64_t seed) {
+  GraphConfiguration config;
+  config.name = "skewed";
+  config.num_nodes = n;
+  config.seed = seed;
+  GraphSchema& s = config.schema;
+  auto check = [](const Status& st) {
+    if (!st.ok()) {
+      std::fprintf(stderr, "FAIL: skewed schema: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+  };
+  check(s.AddType("src", OccurrenceConstraint::Proportion(0.5)).status());
+  check(s.AddType("dst", OccurrenceConstraint::Proportion(0.4)).status());
+  check(s.AddType("misc", OccurrenceConstraint::Proportion(0.1)).status());
+  check(s.AddPredicate("big").status());
+  check(s.AddPredicate("small1").status());
+  check(s.AddPredicate("small2").status());
+  check(s.AddEdgeConstraintByName("src", "big", "dst",
+                                  DistributionSpec::NonSpecified(),
+                                  DistributionSpec::Uniform(8, 12)));
+  check(s.AddEdgeConstraintByName("misc", "small1", "dst",
+                                  DistributionSpec::NonSpecified(),
+                                  DistributionSpec::Uniform(2, 4)));
+  check(s.AddEdgeConstraintByName("dst", "small2", "src",
+                                  DistributionSpec::NonSpecified(),
+                                  DistributionSpec::Uniform(1, 1)));
+  return config;
 }
 
 /// The seed path, reproduced: one global edge vector scattered into
@@ -159,6 +198,72 @@ void PrintRow(const char* label, double index_seconds, size_t edges,
               static_cast<double>(PeakRssBytes()) / (1024.0 * 1024.0));
 }
 
+/// Intra-predicate ablation: per-predicate tasks (index_max_groups=1,
+/// the PR 4 build) vs chunked count-scan-scatter (auto grouping) on the
+/// skewed schema. Identity is pinned against the 1-thread per-predicate
+/// build; timings show where the per-predicate fan-out flatlines.
+bool RunSkewedAblation(const std::vector<int64_t>& sizes,
+                       const std::vector<int>& threads) {
+  bool ok = true;
+  for (int64_t n : sizes) {
+    const GraphConfiguration config = MakeSkewedConfig(n, 42);
+    std::printf("Skewed n=%lld (one predicate owns ~90%% of edges; chunked\n"
+                "wins over per-pred need >1 hardware core — identity checks\n"
+                "hold regardless)\n",
+                static_cast<long long>(n));
+    GenerateStats base_stats;
+    Graph base =
+        ParallelGenerateGraph(config, Options(1, false, 1), &base_stats)
+            .ValueOrDie();
+    PrintRow("per-pred k=1", base_stats.index_seconds, base_stats.total_edges,
+             base_stats.peak_resident_edge_bytes);
+
+    char label[64];
+    for (int k : threads) {
+      GenerateStats per_pred_stats;
+      per_pred_stats.index_seconds = base_stats.index_seconds;
+      if (k > 1) {  // k=1 per-pred IS the base run; don't redo it.
+        Graph per_pred = ParallelGenerateGraph(config, Options(k, false, 1),
+                                               &per_pred_stats)
+                             .ValueOrDie();
+        std::snprintf(label, sizeof(label), "per-pred k=%d", k);
+        ok = CheckIdentical(base, per_pred, label) && ok;
+        PrintRow(label, per_pred_stats.index_seconds,
+                 per_pred_stats.total_edges,
+                 per_pred_stats.peak_resident_edge_bytes);
+      }
+
+      GenerateStats chunked_stats;
+      Graph chunked =
+          ParallelGenerateGraph(config, Options(k, false, 0), &chunked_stats)
+              .ValueOrDie();
+      std::snprintf(label, sizeof(label), "chunked k=%d (g=%zu)", k,
+                    chunked_stats.index_forward_groups);
+      ok = CheckIdentical(base, chunked, label) && ok;
+      PrintRow(label, chunked_stats.index_seconds, chunked_stats.total_edges,
+               chunked_stats.peak_resident_edge_bytes);
+      if (k > 1 && chunked_stats.index_seconds > 0.0) {
+        std::printf("    chunked vs per-pred at k=%d: %.2fx %s\n", k,
+                    per_pred_stats.index_seconds / chunked_stats.index_seconds,
+                    chunked_stats.index_seconds < per_pred_stats.index_seconds
+                        ? "faster"
+                        : "SLOWER");
+      }
+    }
+
+    // The spill-backed chunked build must also reproduce the bytes:
+    // sub-range replay works the same off per-shard temp files.
+    const int max_threads = *std::max_element(threads.begin(), threads.end());
+    Graph spilled =
+        ParallelGenerateGraph(config, Options(max_threads, true, 0))
+            .ValueOrDie();
+    std::snprintf(label, sizeof(label), "chunked k=%d spill", max_threads);
+    ok = CheckIdentical(base, spilled, label) && ok;
+    std::printf("\n");
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main() {
@@ -214,6 +319,21 @@ int main() {
       }
     }
 
+    // Intra-predicate grouping must never regress a uniform schema:
+    // compare the per-predicate-task build at the widest thread count.
+    {
+      GenerateStats per_pred_stats;
+      Graph per_pred =
+          ParallelGenerateGraph(config, Options(max_threads, false, 1),
+                                &per_pred_stats)
+              .ValueOrDie();
+      std::snprintf(label, sizeof(label), "per-pred k=%d", max_threads);
+      ok = CheckIdentical(base, per_pred, label) && ok;
+      PrintRow(label, per_pred_stats.index_seconds,
+               per_pred_stats.total_edges,
+               per_pred_stats.peak_resident_edge_bytes);
+    }
+
     // Seed path last (it owns the largest resident set): canonical
     // stream into one vector, then concat-and-scatter indexing.
     VectorSink stream;
@@ -248,6 +368,8 @@ int main() {
                   "verdict)\n\n");
     }
   }
+
+  ok = RunSkewedAblation(sizes, threads) && ok;
 
   std::printf(
       "(\"model peak\" is the staged-edge high-water mark: the shard store's\n"

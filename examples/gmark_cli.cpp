@@ -242,6 +242,11 @@ int main(int argc, char** argv) {
               (1024.0 * 1024.0),
           gen_stats.total_edges,
           gen_stats.spilled ? ", staged on disk" : "");
+      if (gen_stats.index_forward_groups > 0) {
+        std::printf("CSR build chunk groups: %zu forward, %zu transpose\n",
+                    gen_stats.index_forward_groups,
+                    gen_stats.index_transpose_groups);
+      }
       std::printf("%s", ComputeStats(*graph).ToString(config.schema).c_str());
     } else {
       std::fprintf(stderr, "error: %s\n",

@@ -33,9 +33,14 @@ class BudgetTracker {
  public:
   explicit BudgetTracker(const ResourceBudget& budget) : budget_(budget) {}
 
-  /// \brief Account for newly materialized tuples.
+  /// \brief Account for newly materialized tuples. Tuples must stay
+  /// charged for as long as the materialization is live — a relation
+  /// built from a pair vector holds a second copy, so both are charged
+  /// until one is actually freed — otherwise the peak under-counts and
+  /// the §7 memory-blowup reproduction under-fires.
   Status ChargeTuples(size_t count) {
     tuples_ += count;
+    if (tuples_ > peak_tuples_) peak_tuples_ = tuples_;
     if (tuples_ > budget_.max_tuples) {
       return Status::ResourceExhausted(
           "tuple budget exceeded (" + std::to_string(tuples_) + " > " +
@@ -65,6 +70,9 @@ class BudgetTracker {
   }
 
   size_t tuples_used() const { return tuples_; }
+  /// \brief High-water mark of simultaneously charged tuples — the
+  /// working-memory peak the max_tuples budget is enforced against.
+  size_t peak_tuples() const { return peak_tuples_; }
   size_t tuples_scanned() const { return scanned_; }
   double elapsed_seconds() const { return timer_.ElapsedSeconds(); }
 
@@ -72,7 +80,39 @@ class BudgetTracker {
   ResourceBudget budget_;
   WallTimer timer_;
   size_t tuples_ = 0;
+  size_t peak_tuples_ = 0;
   size_t scanned_ = 0;
+};
+
+/// \brief Amortizes BudgetTracker::CheckTime over hot per-element
+/// loops: one real clock read every `period` Check() calls. The
+/// evaluator's BFS loops pop millions of product states per second — a
+/// clock syscall per pop would dominate the traversal, while checking
+/// only between sources lets one dense source overshoot the timeout
+/// unboundedly. Every ~4096 pops is the middle ground: overshoot is
+/// bounded by ~4096 pops of work, and the clock cost is amortized to
+/// noise.
+class PeriodicTimeCheck {
+ public:
+  static constexpr uint32_t kDefaultPeriod = 4096;
+
+  explicit PeriodicTimeCheck(BudgetTracker* budget,
+                             uint32_t period = kDefaultPeriod)
+      : budget_(budget),
+        period_(period == 0 ? 1 : period),
+        countdown_(period_) {}
+
+  /// \brief Cheap on all but every period-th call.
+  Status Check() {
+    if (--countdown_ > 0) return Status::OK();
+    countdown_ = period_;
+    return budget_->CheckTime();
+  }
+
+ private:
+  BudgetTracker* budget_;
+  uint32_t period_;
+  uint32_t countdown_;
 };
 
 }  // namespace gmark

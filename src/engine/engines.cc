@@ -38,20 +38,35 @@ class MaterializingEngine : public QueryEngine {
       VarRelation acc;
       bool first = true;
       for (const Conjunct& c : rule.body) {
-        GMARK_ASSIGN_OR_RETURN(NodePairs pairs,
-                               ConjunctPairs(graph, c, &budget));
-        VarRelation rel = VarRelation::FromPairs(c.source, c.target, pairs);
-        budget.ReleaseTuples(pairs.size());
+        VarRelation rel;
+        size_t staged_pairs = 0;
+        {
+          GMARK_ASSIGN_OR_RETURN(NodePairs pairs,
+                                 ConjunctPairs(graph, c, &budget));
+          rel = VarRelation::FromPairs(c.source, c.target, pairs);
+          // The relation copy lives alongside the pair vector until
+          // the scope closes: charge it for its lifetime, and release
+          // the pair vector's share only once it is actually freed.
+          // Releasing before the copy was charged under-counted the
+          // live peak ~2x, so the §7 memory-blowup budget under-fired.
+          GMARK_RETURN_NOT_OK(budget.ChargeTuples(rel.row_count()));
+          staged_pairs = pairs.size();
+        }
+        budget.ReleaseTuples(staged_pairs);
         if (first) {
-          acc = std::move(rel);
+          acc = std::move(rel);  // rel's charge transfers to acc.
           first = false;
         } else {
+          const size_t join_inputs = acc.row_count() + rel.row_count();
           GMARK_ASSIGN_OR_RETURN(acc, HashJoin(acc, rel, &budget));
+          // Both join inputs die here (rel, and the replaced acc).
+          budget.ReleaseTuples(join_inputs);
         }
         GMARK_RETURN_NOT_OK(budget.CheckTime());
       }
       GMARK_ASSIGN_OR_RETURN(VarRelation projected,
                              ProjectDistinct(acc, rule.head, &budget));
+      budget.ReleaseTuples(acc.row_count());
       per_rule.push_back(std::move(projected));
     }
     return CountDistinctUnion(per_rule, &budget);

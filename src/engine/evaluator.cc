@@ -58,6 +58,11 @@ Status RpqEvaluator::ForEachSource(const Nfa& nfa, BudgetTracker* budget,
   ResettableBitset accepted(n);
   std::vector<uint64_t> stack;
   std::vector<NodeId> targets;
+  // Amortized wall-clock enforcement inside the per-source BFS: the
+  // per-source check alone would let one dense source overshoot the
+  // timeout unboundedly (its whole product-graph traversal runs
+  // between two checks).
+  PeriodicTimeCheck time_check(budget);
 
   for (NodeId source = 0; source < n; ++source) {
     const bool starts = has_start_edge(source);
@@ -79,6 +84,7 @@ Status RpqEvaluator::ForEachSource(const Nfa& nfa, BudgetTracker* budget,
       visited.TestAndSet(init);
       stack.push_back(init);
       while (!stack.empty()) {
+        GMARK_RETURN_NOT_OK(time_check.Check());
         uint64_t packed = stack.back();
         stack.pop_back();
         NodeId u = static_cast<NodeId>(packed / k);
@@ -143,8 +149,12 @@ Result<std::vector<NodeId>> RpqEvaluator::TargetsFrom(
   uint64_t init = static_cast<uint64_t>(source) * k + nfa.start();
   visited.TestAndSet(init);
   stack.push_back(init);
+  // Amortized: the per-pop clock syscall this loop used to pay
+  // dominated small traversals; the shared helper keeps enforcement
+  // within ~4096 pops of the deadline at negligible cost.
+  PeriodicTimeCheck time_check(budget);
   while (!stack.empty()) {
-    GMARK_RETURN_NOT_OK(budget->CheckTime());
+    GMARK_RETURN_NOT_OK(time_check.Check());
     uint64_t packed = stack.back();
     stack.pop_back();
     NodeId u = static_cast<NodeId>(packed / k);
@@ -172,17 +182,33 @@ Result<VarRelation> ReferenceEvaluator::EvaluateRuleJoin(
   bool first = true;
   for (const Conjunct& c : rule.body) {
     GMARK_ASSIGN_OR_RETURN(Nfa nfa, Nfa::FromRegex(c.expr));
-    GMARK_ASSIGN_OR_RETURN(auto pairs, rpq_.MaterializePairs(nfa, budget));
-    VarRelation rel = VarRelation::FromPairs(c.source, c.target, pairs);
-    budget->ReleaseTuples(pairs.size());
+    VarRelation rel;
+    size_t staged_pairs = 0;
+    {
+      GMARK_ASSIGN_OR_RETURN(auto pairs, rpq_.MaterializePairs(nfa, budget));
+      rel = VarRelation::FromPairs(c.source, c.target, pairs);
+      // The relation copy lives alongside the pair vector until the
+      // scope closes: charge it for its lifetime, and release the pair
+      // vector's share only once it is actually freed. Releasing before
+      // the copy was charged under-counted the live peak ~2x.
+      GMARK_RETURN_NOT_OK(budget->ChargeTuples(rel.row_count()));
+      staged_pairs = pairs.size();
+    }
+    budget->ReleaseTuples(staged_pairs);
     if (first) {
-      acc = std::move(rel);
+      acc = std::move(rel);  // rel's charge transfers to acc.
       first = false;
     } else {
+      const size_t join_inputs = acc.row_count() + rel.row_count();
       GMARK_ASSIGN_OR_RETURN(acc, HashJoin(acc, rel, budget));
+      // Both join inputs die here (rel, and the acc the join replaced).
+      budget->ReleaseTuples(join_inputs);
     }
   }
-  return ProjectDistinct(acc, rule.head, budget);
+  GMARK_ASSIGN_OR_RETURN(VarRelation projected,
+                         ProjectDistinct(acc, rule.head, budget));
+  budget->ReleaseTuples(acc.row_count());
+  return projected;
 }
 
 Result<uint64_t> ReferenceEvaluator::CountDistinct(

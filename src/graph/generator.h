@@ -89,6 +89,16 @@ struct GeneratorOptions {
   /// Parent directory for spill files; empty means the system temp
   /// directory. Each run creates (and removes) its own subdirectory.
   std::string spill_dir;
+
+  /// Intra-predicate parallelism cap for the shard-native CSR build:
+  /// each predicate's edge stream is split into at most this many
+  /// contiguous chunk groups (chunked count-scan-scatter; see
+  /// graph/graph.h). 0 = auto (2x the worker count; 1 when running
+  /// inline on one thread). 1 everywhere reproduces the
+  /// historical one-task-per-predicate build — same bytes, group
+  /// boundaries never change the output, just no intra-predicate
+  /// fan-out (the bench/csr_build ablation baseline).
+  int index_max_groups = 0;
 };
 
 /// \brief Observability for one generation run (benchmarks, tests, and
@@ -107,6 +117,11 @@ struct GenerateStats {
   double layout_seconds = 0.0;
   double generate_seconds = 0.0;
   double index_seconds = 0.0;
+  /// Chunk-group tasks of the CSR build (forward counting sort /
+  /// backward transpose), summed over predicates. More forward groups
+  /// than predicates means intra-predicate parallelism engaged.
+  size_t index_forward_groups = 0;
+  size_t index_transpose_groups = 0;
 };
 
 /// \brief Run the Fig. 5 algorithm, streaming edges into `sink`.

@@ -7,21 +7,31 @@
 // Memory model. The graph is a per-predicate partition of CSR indexes
 // and nothing else: there is no global edge list, and construction
 // never materializes one. Each predicate's forward CSR is built by a
-// two-pass counting sort over a replayable edge stream (count degrees,
-// prefix-sum, scatter targets), and its backward CSR is then derived
-// from the forward CSR by a counting transpose — so the builder never
+// chunked two-pass counting sort over a replayable edge stream: the
+// stream's fixed sub-chunks are grouped into contiguous chunk groups,
+// each group counts degrees into its own private histogram, an
+// exclusive scan across groups turns the histograms into global offsets
+// plus per-group per-node scatter bases, and each group then scatters
+// its edges into its disjoint bucket slices — fully lock-free, because
+// no two groups ever touch the same target index. The backward CSR is
+// derived from the finished forward CSR by the same chunked
+// count-scan-scatter transpose over node ranges, so the builder never
 // holds (target, source) pair vectors either. Peak memory during a
 // build is therefore the staged edge stream (shards, which the builder
 // releases per predicate as it consumes them) plus the CSRs themselves,
 // instead of the seed path's edge vector + forward pair vectors +
-// backward pair vectors (~3x the edge set). Per-predicate builds are
-// independent and run as parallel tasks on an Executor; the serial path
-// is the same builder on an inline executor. One consequence of the
-// transpose: within one backward adjacency list, sources appear in
-// forward-CSR order (ascending source, stream order per source), not in
-// raw stream order as the historical pair-scatter produced — the
-// neighbor *sets* are identical, and the order is deterministic at any
-// thread count.
+// backward pair vectors (~3x the edge set).
+//
+// Determinism. Group boundaries never change the output: within one
+// bucket, chunk-group order concatenates back to exactly the stream
+// order (the same stability argument as the serial counting sort), so
+// the CSRs are byte-identical at any thread count and any group count —
+// including one group per predicate, which is precisely the historical
+// per-predicate-task build. One consequence of the transpose: within
+// one backward adjacency list, sources appear in forward-CSR order
+// (ascending source, stream order per source), not in raw stream order
+// as the historical pair-scatter produced — the neighbor *sets* are
+// identical, and the order is deterministic at any thread count.
 
 #ifndef GMARK_GRAPH_GRAPH_H_
 #define GMARK_GRAPH_GRAPH_H_
@@ -60,37 +70,91 @@ class Graph {
   /// scatter pass), so the stream must yield identical edges both times.
   using EdgeStream = std::function<Status(const EdgeBlockVisitor&)>;
 
+  /// \brief A chunk-addressable replayable stream: invoking it replays
+  /// the sub-chunks [chunk_begin, chunk_end) of one predicate's edge
+  /// stream, in chunk order, through the visitor. Concatenating chunks
+  /// 0..chunk_count-1 yields the canonical stream; any chunk range must
+  /// replay identically across passes.
+  using ChunkedEdgeStream = std::function<Status(
+      size_t chunk_begin, size_t chunk_end, const EdgeBlockVisitor&)>;
+
   /// \brief Streaming per-predicate CSR construction (the shard-native
-  /// build path). Each registered predicate stream is consumed by an
-  /// independent task: two-pass counting sort for the forward CSR, then
-  /// a counting transpose for the backward CSR — no pair vectors, no
-  /// global edge list. Tasks run on the supplied Executor, so the build
-  /// parallelizes across predicates; with an inline (1-thread) executor
-  /// the same code is the serial path.
+  /// build path). Each registered predicate stream is split into
+  /// contiguous chunk groups that run as independent tasks: chunked
+  /// counting sort for the forward CSR, then a chunked counting
+  /// transpose for the backward CSR — no pair vectors, no global edge
+  /// list, no locks (groups write disjoint bucket slices). Tasks run on
+  /// the supplied Executor, so the build parallelizes across predicates
+  /// AND within one predicate; with an inline (1-thread) executor the
+  /// same code is the serial path, byte-identical output either way.
   class Builder {
    public:
+    /// \brief One predicate's chunked edge stream plus its metadata.
+    struct StreamSpec {
+      /// Number of independently replayable sub-chunks. 0 behaves like
+      /// an unregistered predicate (empty adjacency).
+      size_t chunk_count = 0;
+      ChunkedEdgeStream stream;
+      /// Optional per-chunk edge counts (size chunk_count). When given,
+      /// chunk groups are balanced by edge count instead of chunk
+      /// count — what keeps a skewed predicate's groups even.
+      std::vector<size_t> chunk_edges;
+      /// Called once the stream has been consumed for the last time —
+      /// the hook that lets shard stores free (or unlink) a predicate's
+      /// shards as soon as its forward CSR is built.
+      std::function<void()> release;
+      /// Node-range hints: every source in [source_begin, source_end),
+      /// every target in [target_begin, target_end). Both default (0,0)
+      /// to the whole layout. Tight hints shrink the per-group
+      /// histograms from num_nodes to the predicate's endpoint ranges;
+      /// an edge outside a declared range fails the build.
+      NodeId source_begin = 0;
+      NodeId source_end = 0;
+      NodeId target_begin = 0;
+      NodeId target_end = 0;
+    };
+
+    /// \brief Per-build observability (benchmarks and `--stats`).
+    struct BuildStats {
+      /// Chunk-group tasks of the forward counting sort / the backward
+      /// transpose, summed over predicates. forward_groups above the
+      /// predicate count means intra-predicate parallelism engaged.
+      size_t forward_groups = 0;
+      size_t transpose_groups = 0;
+    };
+
     Builder(NodeLayout layout, size_t predicate_count);
 
-    /// \brief Register predicate `a`'s edge stream. `release`, if
-    /// given, is called once the stream has been consumed for the last
-    /// time — the hook that lets shard stores free (or unlink) a
-    /// predicate's shards as soon as its CSR is built. Unregistered
+    /// \brief Register predicate `a`'s edge stream as a single chunk
+    /// (the historical API). `release` as in StreamSpec. Unregistered
     /// predicates get empty adjacency. Streaming an edge whose
     /// predicate is not `a`, or whose endpoints fall outside the
     /// layout, fails the build.
     void SetStream(PredicateId a, EdgeStream stream,
                    std::function<void()> release = {});
 
-    /// \brief Consume the streams and assemble the graph. One task per
-    /// predicate is submitted to `executor`; the call blocks until all
-    /// finish. The builder is single-use.
-    Result<Graph> Build(Executor* executor) &&;
+    /// \brief Register predicate `a`'s chunk-addressable edge stream.
+    void SetChunkedStream(PredicateId a, StreamSpec spec);
+
+    /// \brief Cap the chunk groups one predicate's stream is split
+    /// into. 0 (default) = auto: 2x the executor's worker count, or 1
+    /// on an inline executor (serial chunking is pure overhead). 1
+    /// reproduces the historical one-task-per-predicate build exactly
+    /// (same bytes — group boundaries never change the output — just
+    /// no intra-predicate fan-out); the bench ablation baseline.
+    void set_max_groups(size_t max_groups) { max_groups_ = max_groups; }
+
+    /// \brief Consume the streams and assemble the graph. Chunk-group
+    /// tasks are submitted to `executor` in barrier phases (count,
+    /// scan, scatter; then the same for the transpose); the call blocks
+    /// until all finish. The builder is single-use.
+    Result<Graph> Build(Executor* executor, BuildStats* stats = nullptr) &&;
 
    private:
     NodeLayout layout_;
     size_t predicate_count_;
-    std::vector<EdgeStream> streams_;
-    std::vector<std::function<void()>> releases_;
+    size_t max_groups_ = 0;
+    std::vector<StreamSpec> specs_;
   };
 
   /// \brief Build from a node layout and an edge list. Edges referencing
@@ -159,9 +223,6 @@ class Graph {
     std::vector<size_t> offsets;  // num_nodes + 1 entries.
     std::vector<NodeId> targets;
   };
-
-  /// \brief Backward CSR from a forward CSR by counting transpose.
-  static Csr TransposeCsr(int64_t num_nodes, const Csr& forward);
 
   NodeLayout layout_;
   size_t predicate_count_ = 0;

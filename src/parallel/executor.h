@@ -45,6 +45,11 @@ class Executor {
     if (pool_.has_value()) pool_->Wait();
   }
 
+  /// \brief Workers actually running tasks: the pool size, or 1 inline.
+  /// Sizing hint only (e.g. the graph builder's chunk-group cap) —
+  /// results never depend on it.
+  int workers() const { return pool_.has_value() ? pool_->size() : 1; }
+
  private:
   std::optional<ThreadPool> pool_;
 };

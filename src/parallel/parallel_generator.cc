@@ -40,6 +40,13 @@ struct ShardPlan {
     PredicateId predicate = 0;
     size_t begin = 0;  // First shard index of this constraint.
     size_t end = 0;    // One past the last.
+    // Endpoint id ranges of the constraint's edges — the node-range
+    // hints that let the chunked builder size its per-group histograms
+    // to the predicate's types instead of the whole layout.
+    NodeId src_begin = 0;
+    NodeId src_end = 0;
+    NodeId trg_begin = 0;
+    NodeId trg_end = 0;
   };
   std::vector<ConstraintShards> constraints;
 };
@@ -219,7 +226,9 @@ Status GenerateShards(const GraphConfiguration& config,
     total_edges += edge_counts[ci];
     if (plan_out != nullptr) {
       plan_out->constraints.push_back(ShardPlan::ConstraintShards{
-          constraints[ci].predicate, shard_base[ci], total_shards});
+          constraints[ci].predicate, shard_base[ci], total_shards,
+          plan.src_base, plan.src_base + static_cast<NodeId>(plan.n_src),
+          plan.trg_base, plan.trg_base + static_cast<NodeId>(plan.n_trg)});
     }
   }
   GMARK_ASSIGN_OR_RETURN(ShardStore* out, factory(total_shards, total_edges));
@@ -341,37 +350,78 @@ Result<Graph> ParallelGenerateGraph(const GraphConfiguration& config,
                                      &plan));
   const double generate_seconds = timer.ElapsedSeconds();
 
-  // Shard-native indexing: group each predicate's static shard ranges
-  // (several when multiple constraints share a predicate) and hand the
-  // builder a replayable stream plus a release hook per predicate. The
-  // builder's per-predicate counting-sort tasks run on the same
-  // executor that just generated the shards.
+  // Shard-native indexing: flatten each predicate's static shard ranges
+  // (several when multiple constraints share a predicate) into one
+  // chunk-addressable stream — chunk = shard, weighted by its exact
+  // edge count, endpoint hints = the union of the predicate's
+  // constraint ranges — plus a release hook. The builder splits the
+  // chunks into balanced groups, so the counting-sort tasks parallelize
+  // within a predicate too, on the same executor that just generated
+  // the shards; sub-ranges replay independently whether the shards live
+  // in memory or on disk.
   timer.Restart();
   const size_t predicate_count = config.schema.predicate_count();
-  std::vector<std::vector<std::pair<size_t, size_t>>> ranges(predicate_count);
+  struct PredicateShards {
+    std::vector<size_t> shards;  // Canonical indices, ascending.
+    NodeId src_begin = 0, src_end = 0;
+    NodeId trg_begin = 0, trg_end = 0;
+  };
+  std::vector<PredicateShards> per_pred(predicate_count);
   for (const ShardPlan::ConstraintShards& cs : plan.constraints) {
-    if (cs.end > cs.begin) ranges[cs.predicate].emplace_back(cs.begin, cs.end);
+    if (cs.end <= cs.begin) continue;
+    PredicateShards& ps = per_pred[cs.predicate];
+    const bool first = ps.shards.empty();
+    for (size_t s = cs.begin; s < cs.end; ++s) ps.shards.push_back(s);
+    ps.src_begin = first ? cs.src_begin : std::min(ps.src_begin, cs.src_begin);
+    ps.src_end = first ? cs.src_end : std::max(ps.src_end, cs.src_end);
+    ps.trg_begin = first ? cs.trg_begin : std::min(ps.trg_begin, cs.trg_begin);
+    ps.trg_end = first ? cs.trg_end : std::max(ps.trg_end, cs.trg_end);
   }
   Graph::Builder builder(std::move(layout), predicate_count);
+  builder.set_max_groups(static_cast<size_t>(
+      options.index_max_groups < 0 ? 0 : options.index_max_groups));
   ShardStore* raw_store = store.get();
   for (PredicateId p = 0; p < predicate_count; ++p) {
-    if (ranges[p].empty()) continue;
-    builder.SetStream(
-        p,
-        [raw_store, r = ranges[p]](const Graph::EdgeBlockVisitor& visit)
-            -> Status {
-          for (const auto& [begin, end] : r) {
-            GMARK_RETURN_NOT_OK(raw_store->VisitRange(begin, end, visit));
-          }
-          return Status::OK();
-        },
-        [raw_store, r = ranges[p]] {
-          for (const auto& [begin, end] : r) {
-            raw_store->ReleaseRange(begin, end);
-          }
-        });
+    PredicateShards& ps = per_pred[p];
+    if (ps.shards.empty()) continue;
+    Graph::Builder::StreamSpec spec;
+    spec.chunk_count = ps.shards.size();
+    spec.chunk_edges.reserve(ps.shards.size());
+    for (size_t s : ps.shards) {
+      spec.chunk_edges.push_back(raw_store->ShardEdgeCount(s));
+    }
+    spec.source_begin = ps.src_begin;
+    spec.source_end = ps.src_end;
+    spec.target_begin = ps.trg_begin;
+    spec.target_end = ps.trg_end;
+    spec.stream = [raw_store, shards = ps.shards](
+                      size_t chunk_begin, size_t chunk_end,
+                      const Graph::EdgeBlockVisitor& visit) -> Status {
+      // Coalesce consecutive shard indices into single VisitRange
+      // calls (constraint ranges are contiguous, so runs are long).
+      size_t i = chunk_begin;
+      while (i < chunk_end) {
+        size_t j = i + 1;
+        while (j < chunk_end && shards[j] == shards[j - 1] + 1) ++j;
+        GMARK_RETURN_NOT_OK(
+            raw_store->VisitRange(shards[i], shards[j - 1] + 1, visit));
+        i = j;
+      }
+      return Status::OK();
+    };
+    spec.release = [raw_store, shards = ps.shards] {
+      size_t i = 0;
+      while (i < shards.size()) {
+        size_t j = i + 1;
+        while (j < shards.size() && shards[j] == shards[j - 1] + 1) ++j;
+        raw_store->ReleaseRange(shards[i], shards[j - 1] + 1);
+        i = j;
+      }
+    };
+    builder.SetChunkedStream(p, std::move(spec));
   }
-  Result<Graph> graph = std::move(builder).Build(&executor);
+  Graph::Builder::BuildStats build_stats;
+  Result<Graph> graph = std::move(builder).Build(&executor, &build_stats);
   if (stats != nullptr) {
     stats->index_seconds = timer.ElapsedSeconds();
     stats->layout_seconds = layout_seconds;
@@ -379,6 +429,8 @@ Result<Graph> ParallelGenerateGraph(const GraphConfiguration& config,
     stats->total_edges = store->TotalEdges();
     stats->peak_resident_edge_bytes = store->PeakResidentEdgeBytes();
     stats->spilled = spilled;
+    stats->index_forward_groups = build_stats.forward_groups;
+    stats->index_transpose_groups = build_stats.transpose_groups;
   }
   return graph;
 }

@@ -63,6 +63,12 @@ class ShardStore {
   /// shards stay counted).
   virtual size_t TotalEdges() const = 0;
 
+  /// \brief Edges held by shard `index`. Valid after Finish() and
+  /// before the shard is released — what lets consumers (notably the
+  /// chunked Graph::Builder) balance sub-range work by edge count
+  /// before replaying anything.
+  virtual size_t ShardEdgeCount(size_t index) const = 0;
+
   /// \brief High-water mark of edge bytes simultaneously resident in
   /// memory (buffers owned by or in transit through the store).
   virtual size_t PeakResidentEdgeBytes() const = 0;

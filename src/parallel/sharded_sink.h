@@ -55,6 +55,11 @@ class ShardedSink : public ShardStore {
   /// \brief Total edges across all shards, including released ones.
   size_t TotalEdges() const override;
 
+  /// \brief Buffer size of shard `index` (0 once released).
+  size_t ShardEdgeCount(size_t index) const override {
+    return shards_[index].size();
+  }
+
   /// \brief Every handed-over shard stays resident until released, so
   /// the high-water mark is simply the running total.
   size_t PeakResidentEdgeBytes() const override {

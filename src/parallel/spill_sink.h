@@ -62,6 +62,12 @@ class SpillSink : public ShardStore {
 
   size_t TotalEdges() const override;
 
+  /// \brief Edges written for shard `index` (the count survives a
+  /// release; only the file is unlinked).
+  size_t ShardEdgeCount(size_t index) const override {
+    return shards_[index].edge_count;
+  }
+
   /// \brief Largest number of edge bytes simultaneously in transit
   /// through the store: PutShard write buffers plus VisitRange read
   /// buffers (each freed as soon as its I/O completes).

@@ -134,6 +134,33 @@ TEST(EnginesTest, CypherDropsInverseUnderStar) {
   EXPECT_NE(got.ValueOrDie(), homomorphic);
 }
 
+TEST(EnginesTest, TupleBudgetCountsBothPairAndRelationCopies) {
+  // Regression: MaterializingEngine::Evaluate released the pair
+  // vector's tuples while the VarRelation copy (and the vector itself)
+  // were still live, under-counting the peak ~2x — a budget sized
+  // between the under-counted and the true peak never fired. 20 pairs
+  // with one distinct source: true peak is 40 (pairs + relation copy),
+  // the old accounting peaked at 20.
+  GraphConfiguration config;
+  config.num_nodes = 21;
+  ASSERT_TRUE(
+      config.schema.AddType("t", OccurrenceConstraint::Fixed(21)).ok());
+  std::vector<Edge> edges;
+  for (NodeId i = 1; i <= 20; ++i) edges.push_back(Edge{0, 0, i});
+  NodeLayout layout = NodeLayout::Create(config).ValueOrDie();
+  Graph g = Graph::Build(std::move(layout), 1, std::move(edges)).ValueOrDie();
+
+  Query q = BinaryChain({RegularExpression::Atom(Symbol::Fwd(0))});
+  q.rules[0].head = {0};
+  auto engine = MakeEngine(EngineKind::kSparql);
+  // Between the phantom peak (20) and the real one (40): must fire.
+  auto tight = engine->Evaluate(g, q, ResourceBudget::Limited(60.0, 30));
+  EXPECT_TRUE(tight.status().IsResourceExhausted());
+  // Above the real peak: must succeed.
+  auto roomy = engine->Evaluate(g, q, ResourceBudget::Limited(60.0, 50));
+  EXPECT_EQ(roomy.ValueOrDie(), 1u);
+}
+
 TEST(EnginesTest, BudgetExhaustionSurfacesAsFailure) {
   GraphConfiguration config = MakeBibConfig(2000, 47);
   Graph graph = GenerateGraph(config).ValueOrDie();

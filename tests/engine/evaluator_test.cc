@@ -194,6 +194,68 @@ TEST(EvaluatorTest, TimeBudgetIsEnforced) {
   EXPECT_TRUE(r.status().IsResourceExhausted());
 }
 
+TEST(EvaluatorTest, TimeoutEnforcedWithinOneDenseSource) {
+  // Regression: ForEachSource used to check the wall clock only once
+  // per source, so a single dense source overshot the timeout by its
+  // whole product-graph BFS. Build a graph where exactly one node has a
+  // start edge (predicate s) into a dense cluster (predicate a): the
+  // pre-fix evaluator passes its only time check before the BFS starts
+  // and then runs the multi-millisecond traversal to completion,
+  // returning OK; the amortized in-loop check must abort it instead.
+  const int64_t m = 6000;  // Cluster nodes; >4096 so the check fires.
+  GraphConfiguration config;
+  config.num_nodes = m + 1;
+  ASSERT_TRUE(
+      config.schema.AddType("t", OccurrenceConstraint::Fixed(m + 1)).ok());
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(m) * 201);
+  for (NodeId i = 1; i <= static_cast<NodeId>(m); ++i) {
+    edges.push_back(Edge{0, 0, i});  // s: the lone fan-out source.
+    for (NodeId j = 0; j < 200; ++j) {
+      NodeId t = 1 + (i - 1 + j * 31 + 7) % static_cast<NodeId>(m);
+      edges.push_back(Edge{i, 1, t});  // a: dense cluster.
+    }
+  }
+  NodeLayout layout = NodeLayout::Create(config).ValueOrDie();
+  Graph g = Graph::Build(std::move(layout), 2, std::move(edges)).ValueOrDie();
+
+  ReferenceEvaluator eval(&g);
+  RegularExpression star;
+  star.disjuncts = {{Symbol::Fwd(1)}};
+  star.star = true;
+  Query q = BinaryChain({RegularExpression::Atom(Symbol::Fwd(0)), star});
+  auto r = eval.CountDistinct(q, ResourceBudget::Limited(2e-4, SIZE_MAX));
+  EXPECT_TRUE(r.status().IsResourceExhausted())
+      << "dense single-source BFS must hit the timeout mid-traversal, got "
+      << (r.ok() ? "a full result" : r.status().ToString());
+}
+
+TEST(EvaluatorTest, TupleChargesFollowRelationLifetimes) {
+  // A 21-node fan: 20 a-pairs out of node 0, but only one distinct
+  // source. While FromPairs' relation copy and the pair vector are both
+  // live, both must be charged: peak = 2 x 20 pairs, not 20.
+  GraphConfiguration config;
+  config.num_nodes = 21;
+  ASSERT_TRUE(
+      config.schema.AddType("t", OccurrenceConstraint::Fixed(21)).ok());
+  std::vector<Edge> edges;
+  for (NodeId i = 1; i <= 20; ++i) edges.push_back(Edge{0, 0, i});
+  NodeLayout layout = NodeLayout::Create(config).ValueOrDie();
+  Graph g = Graph::Build(std::move(layout), 1, std::move(edges)).ValueOrDie();
+
+  ReferenceEvaluator eval(&g);
+  Query q = BinaryChain({RegularExpression::Atom(Symbol::Fwd(0))});
+  q.rules[0].head = {0};  // Project onto the single distinct source.
+  BudgetTracker tracker(ResourceBudget::Unlimited());
+  VarRelation rel =
+      eval.EvaluateRuleJoin(q.rules[0], &tracker).ValueOrDie();
+  EXPECT_EQ(rel.row_count(), 1u);
+  // Peak: 20 materialized pairs + the 20-row relation copy. Final live
+  // tuples: just the projected row (everything else released on free).
+  EXPECT_EQ(tracker.peak_tuples(), 40u);
+  EXPECT_EQ(tracker.tuples_used(), 1u);
+}
+
 TEST(RpqEvaluatorTest, TargetsFromSingleSource) {
   Graph g = HandGraph();
   RpqEvaluator rpq(&g);
