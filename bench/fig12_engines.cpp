@@ -26,14 +26,23 @@ namespace {
 struct Cell {
   double total = 0;
   int ok_runs = 0;
-  int failures = 0;
+  int timeouts = 0;
+  int mem_failures = 0;
 
   std::string Render() const {
-    if (ok_runs == 0) return "-";
+    if (ok_runs == 0) {
+      if (timeouts + mem_failures == 0) return "-";
+      // Failure-only cell: say WHY (from the evaluation profiles) —
+      // T = wall-clock budget, M = tuple (memory) budget.
+      std::string tag = "-(";
+      if (timeouts > 0) tag += 'T';
+      if (mem_failures > 0) tag += 'M';
+      return tag + ")";
+    }
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.3f%s",
                   total / static_cast<double>(ok_runs),
-                  failures > 0 ? "*" : "");
+                  timeouts + mem_failures > 0 ? "*" : "");
     return buf;
   }
 };
@@ -84,8 +93,13 @@ int main() {
           if (result.ok()) {
             cell.total += result.seconds;
             ++cell.ok_runs;
+          } else if (result.profile.peak_tuples >= budget.max_tuples) {
+            // The profile survives failed runs: a peak at the tuple
+            // ceiling is a memory blowup, anything else ran out of
+            // wall clock.
+            ++cell.mem_failures;
           } else {
-            ++cell.failures;
+            ++cell.timeouts;
           }
         }
       }
@@ -118,7 +132,10 @@ int main() {
     }
   }
   std::printf(
-      "\n(* = some queries of the class failed within budget)\n"
+      "\n(* = some queries of the class failed within budget;\n"
+      " -(T) all failed on the time budget, -(M) all failed on the tuple\n"
+      " budget, -(TM) a mix — classified from the per-query evaluation\n"
+      " profiles)\n"
       "expected shape (paper): P fastest on constant and on small linear;\n"
       "S overtakes on larger linear and on quadratic; G slowest/deviating;\n"
       "quadratic panel roughly an order of magnitude above the others.\n");

@@ -19,12 +19,23 @@
 //             [--spill-threshold <bytes>]  only spill when the edge set
 //                                          exceeds <bytes> (default with
 //                                          --spill-dir: 0 = always spill)
-//             [--stats]                    print instance statistics plus a
-//                                          phase breakdown (node layout /
-//                                          edge generation / CSR indexing)
-//                                          and peak resident edge bytes;
-//                                          with spill flags the index phase
-//                                          streams shards from disk
+//             [--stats]                    print instance statistics plus the
+//                                          metric-registry snapshot table
+//                                          (gen.* phase counters, CSR group
+//                                          counts, query metrics when
+//                                          --evaluate ran)
+//             [--evaluate CODES]           generate + index the graph, run
+//                                          the workload through the engine
+//                                          simulators named by CODES (e.g.
+//                                          PD, or "all" = PGSD), and print
+//                                          per-query timings with their
+//                                          evaluation profiles
+//             [--metrics-json FILE]        write the metric-registry snapshot
+//                                          as JSON (also --metrics-json=FILE)
+//             [--trace-json FILE]          record hierarchical spans and
+//                                          write Chrome trace_event JSON —
+//                                          loads in chrome://tracing and
+//                                          https://ui.perfetto.dev
 //
 // Example:
 //   ./build/examples/gmark_cli --use-case Bib -n 10000 ...
@@ -37,11 +48,15 @@
 #include <optional>
 #include <string>
 
+#include "analysis/runner.h"
 #include "core/config_xml.h"
 #include "core/consistency.h"
 #include "core/use_cases.h"
+#include "engine/engines.h"
 #include "graph/generator.h"
 #include "graph/graph_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/parallel_generator.h"
 #include "graph/stats.h"
 #include "query/query_xml.h"
@@ -62,6 +77,7 @@ int Usage(const char* argv0) {
       "          [-w workload-config.xml] [-g graph.out] [--format nt|csv]\n"
       "          [-q workload.xml] [-o query-dir] [--threads k]\n"
       "          [--spill-dir DIR] [--spill-threshold BYTES] [--stats]\n"
+      "          [--evaluate CODES] [--metrics-json FILE] [--trace-json FILE]\n"
       "\n"
       "  --threads k            parallel graph and workload generation\n"
       "                         (0 = all cores); output is byte-identical\n"
@@ -71,9 +87,51 @@ int Usage(const char* argv0) {
       "                         the parallel generator)\n"
       "  --spill-threshold N    spill only when the edge set exceeds N\n"
       "                         bytes (with --spill-dir the default is 0,\n"
-      "                         i.e. always spill)\n",
+      "                         i.e. always spill)\n"
+      "  --evaluate CODES       run the generated workload through the\n"
+      "                         engine simulators named by CODES (subset\n"
+      "                         of PGSD, or \"all\") and print per-query\n"
+      "                         timings with evaluation profiles\n"
+      "  --metrics-json FILE    write the metric-registry snapshot as JSON\n"
+      "  --trace-json FILE      record spans; write Chrome trace_event\n"
+      "                         JSON (chrome://tracing, Perfetto)\n",
       argv0);
   return 2;
+}
+
+/// Final observability exports (the `--stats` table, `--metrics-json`,
+/// `--trace-json`); returns the process exit code.
+int FinishObs(bool stats, const std::string& metrics_json,
+              const std::string& trace_json, MetricRegistry* registry,
+              Tracer* tracer) {
+  if (stats && registry != nullptr) {
+    std::printf("%s", registry->Snapshot().ToTable().c_str());
+  }
+  if (!metrics_json.empty() && registry != nullptr) {
+    std::ofstream out(metrics_json, std::ios::trunc);
+    out << registry->Snapshot().ToJson() << "\n";
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", metrics_json.c_str());
+      return 1;
+    }
+    std::printf("wrote metrics snapshot to %s\n", metrics_json.c_str());
+  }
+  if (!trace_json.empty() && tracer != nullptr) {
+    std::ofstream out(trace_json, std::ios::trunc);
+    Status st = out ? tracer->WriteChromeTrace(out)
+                    : Status::IOError("cannot open trace file");
+    out.flush();
+    if (st.ok() && !out) st = Status::IOError("stream write failed");
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", trace_json.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu trace events to %s\n", tracer->event_count(),
+                trace_json.c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -83,6 +141,7 @@ int main(int argc, char** argv) {
       use_case;
   std::string format = "nt";
   std::string spill_dir;
+  std::string metrics_json, trace_json, evaluate_codes;
   int64_t spill_threshold = -1;
   int64_t nodes_override = -1;
   bool stats = false;
@@ -96,7 +155,29 @@ int main(int argc, char** argv) {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
-    if (arg == "-c") {
+    // String-valued flags accepting both "--flag VALUE" and
+    // "--flag=VALUE".
+    auto take = [&](const std::string& flag, std::string* out) -> bool {
+      if (arg == flag) {
+        if (const char* v = next()) {
+          *out = v;
+          return true;
+        }
+        return false;
+      }
+      if (arg.rfind(flag + "=", 0) == 0) {
+        *out = arg.substr(flag.size() + 1);
+        return !out->empty();
+      }
+      return false;
+    };
+    if (arg.rfind("--metrics-json", 0) == 0) {
+      if (!take("--metrics-json", &metrics_json)) return Usage(argv[0]);
+    } else if (arg.rfind("--trace-json", 0) == 0) {
+      if (!take("--trace-json", &trace_json)) return Usage(argv[0]);
+    } else if (arg.rfind("--evaluate", 0) == 0) {
+      if (!take("--evaluate", &evaluate_codes)) return Usage(argv[0]);
+    } else if (arg == "-c") {
       if (const char* v = next()) config_path = v; else return Usage(argv[0]);
     } else if (arg == "-w") {
       if (const char* v = next()) workload_path = v; else return Usage(argv[0]);
@@ -138,6 +219,27 @@ int main(int argc, char** argv) {
     } else {
       return Usage(argv[0]);
     }
+  }
+
+  if (evaluate_codes == "all") evaluate_codes = "PGSD";
+  for (char c : evaluate_codes) {
+    if (c != 'P' && c != 'G' && c != 'S' && c != 'D') return Usage(argv[0]);
+  }
+
+  // Observability: install a registry whenever any surface needs one; a
+  // tracer only when a trace file was requested. With neither, the
+  // global pointers stay null and the instrumented paths are no-ops.
+  std::optional<MetricRegistry> registry;
+  std::optional<ScopedGlobalMetrics> scoped_metrics;
+  if (stats || !metrics_json.empty() || !evaluate_codes.empty()) {
+    registry.emplace();
+    scoped_metrics.emplace(&*registry);
+  }
+  std::optional<Tracer> tracer;
+  std::optional<ScopedGlobalTracer> scoped_tracer;
+  if (!trace_json.empty()) {
+    tracer.emplace();
+    scoped_tracer.emplace(&*tracer);
   }
 
   // Resolve the graph configuration.
@@ -216,7 +318,8 @@ int main(int argc, char** argv) {
     std::printf("wrote %zu %s to %s\n", sink->count(),
                 format == "csv" ? "csv rows" : "triples", graph_out.c_str());
   }
-  if (stats) {
+  std::optional<Graph> indexed;
+  if (stats || !evaluate_codes.empty()) {
     // The indexed graph is built shard-native: per-predicate CSRs
     // stream straight off the shard store, so the spill flags bound the
     // edge-staging memory here too (only the final CSRs stay resident).
@@ -231,32 +334,27 @@ int main(int argc, char** argv) {
       }
       return GenerateGraph(config, options, &gen_stats);
     }();
-    if (graph.ok()) {
-      std::printf(
-          "phase breakdown: node layout %.3fs | edge generation %.3fs | "
-          "CSR indexing %.3fs\n"
-          "peak resident edge bytes: %.2f MiB (%zu edges%s)\n",
-          gen_stats.layout_seconds, gen_stats.generate_seconds,
-          gen_stats.index_seconds,
-          static_cast<double>(gen_stats.peak_resident_edge_bytes) /
-              (1024.0 * 1024.0),
-          gen_stats.total_edges,
-          gen_stats.spilled ? ", staged on disk" : "");
-      if (gen_stats.index_forward_groups > 0) {
-        std::printf("CSR build chunk groups: %zu forward, %zu transpose\n",
-                    gen_stats.index_forward_groups,
-                    gen_stats.index_transpose_groups);
-      }
-      std::printf("%s", ComputeStats(*graph).ToString(config.schema).c_str());
-    } else {
+    if (!graph.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    graph.status().ToString().c_str());
       return 1;
     }
+    if (stats) {
+      std::printf("%s", ComputeStats(*graph).ToString(config.schema).c_str());
+    }
+    indexed = std::move(graph).ValueOrDie();
   }
 
   // Workload generation.
-  if (queries_out.empty() && out_dir.empty()) return 0;
+  const bool want_workload =
+      !queries_out.empty() || !out_dir.empty() || !evaluate_codes.empty();
+  if (!want_workload) {
+    // Phase counters (gen.*) are already recorded; fall through to the
+    // observability exports.
+    return FinishObs(stats, metrics_json, trace_json, registry ? &*registry
+                                                               : nullptr,
+                     tracer ? &*tracer : nullptr);
+  }
   WorkloadConfiguration wconfig = MakePresetWorkload(WorkloadPreset::kCon);
   if (!workload_path.empty()) {
     auto content = ReadFileToString(workload_path);
@@ -320,5 +418,40 @@ int main(int argc, char** argv) {
       std::printf("wrote %s\n", path.c_str());
     }
   }
-  return 0;
+
+  // Engine evaluation: the generated workload against the indexed
+  // graph, one engine per code, §7.1 timing protocol with one warm run
+  // (the profile rides the cold run, so timings stay unperturbed).
+  if (!evaluate_codes.empty()) {
+    const ResourceBudget budget = ResourceBudget::Limited(5.0, 20'000'000);
+    TimingProtocol protocol;
+    protocol.warm_runs = 1;
+    std::printf("engine evaluation (budget: %.0fs / %zu tuples):\n",
+                budget.timeout_seconds, budget.max_tuples);
+    for (char code : evaluate_codes) {
+      const EngineKind kind = code == 'P'   ? EngineKind::kRelational
+                              : code == 'G' ? EngineKind::kCypher
+                              : code == 'S' ? EngineKind::kSparql
+                                            : EngineKind::kDatalog;
+      auto engine = MakeEngine(kind);
+      for (const GeneratedQuery& gq : workload->queries) {
+        TimingResult r =
+            TimeQuery(*engine, *indexed, gq.query, budget, protocol);
+        if (r.ok()) {
+          std::printf("  %c %-20s %8ss count=%llu | %s\n", code,
+                      gq.query.name.c_str(), r.ToCell().c_str(),
+                      static_cast<unsigned long long>(r.count),
+                      r.profile.ToString().c_str());
+        } else {
+          std::printf("  %c %-20s        - (%s) | %s\n", code,
+                      gq.query.name.c_str(), r.status.ToString().c_str(),
+                      r.profile.ToString().c_str());
+        }
+      }
+    }
+  }
+
+  return FinishObs(stats, metrics_json, trace_json,
+                   registry ? &*registry : nullptr,
+                   tracer ? &*tracer : nullptr);
 }

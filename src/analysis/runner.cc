@@ -4,6 +4,8 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace gmark {
@@ -20,26 +22,58 @@ TimingResult TimeQuery(const QueryEngine& engine, const Graph& graph,
                        const Query& query, const ResourceBudget& budget,
                        const TimingProtocol& protocol) {
   TimingResult result;
-  auto run_once = [&](double* seconds) -> Status {
+  Span span = TraceSpan("query.time", "query");
+  if (span.active()) {
+    span.SetAttribute("engine", EngineKindCode(engine.kind()));
+  }
+  MetricRegistry* metrics = GlobalMetrics();
+
+  auto run_once = [&](double* seconds, EvalContext* ctx) -> Status {
     WallTimer timer;
-    auto count = engine.Evaluate(graph, query, budget);
+    auto count = engine.Evaluate(graph, query, budget, ctx);
     *seconds = timer.ElapsedSeconds();
     GMARK_RETURN_NOT_OK(count.status());
     result.count = count.ValueOrDie();
     return Status::OK();
   };
+  auto record_failure = [&] {
+    if (metrics != nullptr) {
+      metrics->Add(metrics->Counter("query.failures"), 1);
+    }
+  };
+
+  // The profile rides on the cold run, which the protocol excludes from
+  // timing anyway — so profiling overhead never perturbs the reported
+  // seconds. With cold runs disabled it rides on the first warm run.
+  EvalContext ctx;
+  ctx.profile = &result.profile;
+  ctx.metrics = metrics;
+  ctx.tracer = GlobalTracer();
+  bool profiled = false;
 
   if (protocol.cold_run) {
     double cold = 0;
-    result.status = run_once(&cold);
-    if (!result.status.ok()) return result;  // Failed runs fail cold too.
+    result.status = run_once(&cold, &ctx);
+    profiled = true;
+    if (!result.status.ok()) {  // Failed runs fail cold too.
+      record_failure();
+      return result;
+    }
   }
   std::vector<double> times;
   for (int i = 0; i < protocol.warm_runs; ++i) {
     double t = 0;
-    result.status = run_once(&t);
-    if (!result.status.ok()) return result;
+    result.status = run_once(&t, profiled ? nullptr : &ctx);
+    profiled = true;
+    if (!result.status.ok()) {
+      record_failure();
+      return result;
+    }
     times.push_back(t);
+    if (metrics != nullptr) {
+      metrics->Observe(metrics->Histogram("query.warm_run_nanos"),
+                       static_cast<uint64_t>(t * 1e9));
+    }
   }
   std::sort(times.begin(), times.end());
   int lo = protocol.trim_each_side;

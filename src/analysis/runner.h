@@ -9,6 +9,7 @@
 
 #include "engine/engines.h"
 #include "graph/graph.h"
+#include "obs/eval_profile.h"
 #include "query/query.h"
 
 namespace gmark {
@@ -18,6 +19,11 @@ struct TimingResult {
   Status status;         ///< Non-OK models a failed run ("-" in tables).
   double seconds = 0.0;  ///< Trimmed average of warm runs.
   uint64_t count = 0;    ///< count(distinct) of the query result.
+  /// Evaluation profile from the cold run (or the first warm run when
+  /// the protocol disables cold runs): per-conjunct rows/seconds, BFS
+  /// and fixpoint statistics, tuple peak/headroom. Filled on failure
+  /// too — it is what distinguishes a timeout from a memory blowup.
+  EvalProfile profile;
 
   bool ok() const { return status.ok(); }
   /// \brief Seconds formatted for tables; "-" on failure.

@@ -6,6 +6,7 @@
 #ifndef GMARK_ENGINE_BUDGET_H_
 #define GMARK_ENGINE_BUDGET_H_
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -49,9 +50,20 @@ class BudgetTracker {
     return Status::OK();
   }
 
-  /// \brief Release tuples freed by the operator pipeline.
+  /// \brief Release tuples freed by the operator pipeline. Releasing
+  /// more than is charged is a lifetime-accounting bug in the caller
+  /// (exactly the class of bug the lifetime-charging fixes addressed):
+  /// debug builds assert, release builds clamp to 0 but count the event
+  /// so it surfaces in EvalProfile / the metric registry instead of
+  /// being silently masked.
   void ReleaseTuples(size_t count) {
-    tuples_ = count > tuples_ ? 0 : tuples_ - count;
+    if (count > tuples_) {
+      ++over_releases_;
+      assert(count <= tuples_ && "BudgetTracker over-release");
+      tuples_ = 0;
+      return;
+    }
+    tuples_ -= count;
   }
 
   /// \brief Account for tuples *scanned* (not materialized), e.g. the
@@ -74,7 +86,10 @@ class BudgetTracker {
   /// working-memory peak the max_tuples budget is enforced against.
   size_t peak_tuples() const { return peak_tuples_; }
   size_t tuples_scanned() const { return scanned_; }
+  /// \brief ReleaseTuples calls that exceeded the outstanding charge.
+  size_t over_releases() const { return over_releases_; }
   double elapsed_seconds() const { return timer_.ElapsedSeconds(); }
+  const ResourceBudget& budget() const { return budget_; }
 
  private:
   ResourceBudget budget_;
@@ -82,6 +97,7 @@ class BudgetTracker {
   size_t tuples_ = 0;
   size_t peak_tuples_ = 0;
   size_t scanned_ = 0;
+  size_t over_releases_ = 0;
 };
 
 /// \brief Amortizes BudgetTracker::CheckTime over hot per-element

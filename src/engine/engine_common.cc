@@ -79,7 +79,7 @@ Result<NodePairs> RegexBasePairs(const Graph& graph,
 }
 
 Result<NodePairs> ClosureNaive(const Graph& graph, const NodePairs& base,
-                               BudgetTracker* budget) {
+                               BudgetTracker* budget, uint64_t* rounds) {
   const NodeId n = static_cast<NodeId>(graph.num_nodes());
   std::unordered_set<uint64_t> known;
   NodePairs result;
@@ -98,6 +98,7 @@ Result<NodePairs> ClosureNaive(const Graph& graph, const NodePairs& base,
   bool grew = true;
   while (grew) {
     grew = false;
+    if (rounds != nullptr) ++*rounds;
     GMARK_RETURN_NOT_OK(budget->CheckTime());
     // Naive: rescan the ENTIRE accumulated relation every round.
     budget->ChargeScan(result.size());
@@ -120,7 +121,7 @@ Result<NodePairs> ClosureNaive(const Graph& graph, const NodePairs& base,
 }
 
 Result<NodePairs> ClosureSemiNaive(const Graph& graph, const NodePairs& base,
-                                   BudgetTracker* budget) {
+                                   BudgetTracker* budget, uint64_t* rounds) {
   const NodeId n = static_cast<NodeId>(graph.num_nodes());
   std::unordered_set<uint64_t> known;
   NodePairs result;
@@ -145,6 +146,7 @@ Result<NodePairs> ClosureSemiNaive(const Graph& graph, const NodePairs& base,
     }
   }
   while (!delta.empty()) {
+    if (rounds != nullptr) ++*rounds;
     GMARK_RETURN_NOT_OK(budget->CheckTime());
     NodePairs next_delta;
     // Semi-naive: only the delta is extended.

@@ -38,13 +38,18 @@ Result<NodePairs> RegexBasePairs(const Graph& graph,
 /// \brief Reflexive-transitive closure by NAIVE iteration: every round
 /// rejoins the whole accumulated relation with the base (the cost
 /// profile of a recursive view evaluated without delta optimization).
+/// `rounds`, when given, receives the number of fixpoint rounds run —
+/// the cost-asymmetry observable the evaluation profiles report.
 Result<NodePairs> ClosureNaive(const Graph& graph, const NodePairs& base,
-                               BudgetTracker* budget);
+                               BudgetTracker* budget,
+                               uint64_t* rounds = nullptr);
 
 /// \brief Reflexive-transitive closure by SEMI-NAIVE iteration: only
 /// the delta of the previous round is extended (Datalog-style).
+/// `rounds` as in ClosureNaive.
 Result<NodePairs> ClosureSemiNaive(const Graph& graph, const NodePairs& base,
-                                   BudgetTracker* budget);
+                                   BudgetTracker* budget,
+                                   uint64_t* rounds = nullptr);
 
 }  // namespace gmark
 

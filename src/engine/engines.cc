@@ -31,18 +31,25 @@ namespace {
 class MaterializingEngine : public QueryEngine {
  public:
   Result<uint64_t> Evaluate(const Graph& graph, const Query& query,
-                            const ResourceBudget& budget_spec) const override {
+                            const ResourceBudget& budget_spec,
+                            EvalContext* ctx = nullptr) const override {
     BudgetTracker budget(budget_spec);
+    EvalProfile* profile = ctx != nullptr ? ctx->profile : nullptr;
+    BudgetProfileScope budget_scope(profile, &budget);
     std::vector<VarRelation> per_rule;
+    // Profile conjunct numbering is global across rules, in rule order.
+    size_t conjunct_index = 0;
     for (const QueryRule& rule : query.rules) {
       VarRelation acc;
       bool first = true;
       for (const Conjunct& c : rule.body) {
+        WallTimer conjunct_timer;
         VarRelation rel;
         size_t staged_pairs = 0;
         {
-          GMARK_ASSIGN_OR_RETURN(NodePairs pairs,
-                                 ConjunctPairs(graph, c, &budget));
+          GMARK_ASSIGN_OR_RETURN(
+              NodePairs pairs,
+              ConjunctPairs(graph, c, &budget, profile, conjunct_index));
           rel = VarRelation::FromPairs(c.source, c.target, pairs);
           // The relation copy lives alongside the pair vector until
           // the scope closes: charge it for its lifetime, and release
@@ -53,6 +60,7 @@ class MaterializingEngine : public QueryEngine {
           staged_pairs = pairs.size();
         }
         budget.ReleaseTuples(staged_pairs);
+        const size_t conjunct_rows = rel.row_count();
         if (first) {
           acc = std::move(rel);  // rel's charge transfers to acc.
           first = false;
@@ -62,6 +70,12 @@ class MaterializingEngine : public QueryEngine {
           // Both join inputs die here (rel, and the replaced acc).
           budget.ReleaseTuples(join_inputs);
         }
+        if (profile != nullptr) {
+          ConjunctProfile& cp = profile->Conjunct(conjunct_index);
+          cp.rows += conjunct_rows;
+          cp.seconds += conjunct_timer.ElapsedSeconds();
+        }
+        ++conjunct_index;
         GMARK_RETURN_NOT_OK(budget.CheckTime());
       }
       GMARK_ASSIGN_OR_RETURN(VarRelation projected,
@@ -74,9 +88,13 @@ class MaterializingEngine : public QueryEngine {
 
  protected:
   /// Engine-specific evaluation of one conjunct into a pair relation.
+  /// `profile` may be null; `conjunct_index` is the conjunct's global
+  /// position for per-conjunct statistics (fixpoint rounds).
   virtual Result<NodePairs> ConjunctPairs(const Graph& graph,
                                           const Conjunct& conjunct,
-                                          BudgetTracker* budget) const = 0;
+                                          BudgetTracker* budget,
+                                          EvalProfile* profile,
+                                          size_t conjunct_index) const = 0;
 };
 
 /// P: hash joins with bag-semantics intermediates; naive recursion.
@@ -90,12 +108,21 @@ class RelationalEngine : public MaterializingEngine {
 
  protected:
   Result<NodePairs> ConjunctPairs(const Graph& graph, const Conjunct& c,
-                                  BudgetTracker* budget) const override {
+                                  BudgetTracker* budget, EvalProfile* profile,
+                                  size_t conjunct_index) const override {
     GMARK_ASSIGN_OR_RETURN(
         NodePairs base,
         RegexBasePairs(graph, c.expr, /*set_semantics=*/false, budget));
     if (!c.expr.star) return base;
-    return ClosureNaive(graph, base, budget);
+    // Record rounds even when the closure dies on its budget — a
+    // partial round count still explains where the time went.
+    uint64_t rounds = 0;
+    Result<NodePairs> closed = ClosureNaive(graph, base, budget, &rounds);
+    if (profile != nullptr) {
+      profile->Conjunct(conjunct_index).fixpoint_rounds += rounds;
+      profile->fixpoint_rounds += rounds;
+    }
+    return closed;
   }
 };
 
@@ -110,12 +137,19 @@ class DatalogEngine : public MaterializingEngine {
 
  protected:
   Result<NodePairs> ConjunctPairs(const Graph& graph, const Conjunct& c,
-                                  BudgetTracker* budget) const override {
+                                  BudgetTracker* budget, EvalProfile* profile,
+                                  size_t conjunct_index) const override {
     GMARK_ASSIGN_OR_RETURN(
         NodePairs base,
         RegexBasePairs(graph, c.expr, /*set_semantics=*/true, budget));
     if (!c.expr.star) return base;
-    return ClosureSemiNaive(graph, base, budget);
+    uint64_t rounds = 0;
+    Result<NodePairs> closed = ClosureSemiNaive(graph, base, budget, &rounds);
+    if (profile != nullptr) {
+      profile->Conjunct(conjunct_index).fixpoint_rounds += rounds;
+      profile->fixpoint_rounds += rounds;
+    }
+    return closed;
   }
 };
 
@@ -130,10 +164,11 @@ class SparqlEngine : public MaterializingEngine {
 
  protected:
   Result<NodePairs> ConjunctPairs(const Graph& graph, const Conjunct& c,
-                                  BudgetTracker* budget) const override {
+                                  BudgetTracker* budget, EvalProfile* profile,
+                                  size_t /*conjunct_index*/) const override {
     GMARK_ASSIGN_OR_RETURN(Nfa nfa, Nfa::FromRegex(c.expr));
     RpqEvaluator rpq(&graph);
-    return rpq.MaterializePairs(nfa, budget);
+    return rpq.MaterializePairs(nfa, budget, profile);
   }
 };
 
@@ -148,12 +183,18 @@ class CypherEngine : public QueryEngine {
   }
 
   Result<uint64_t> Evaluate(const Graph& graph, const Query& query,
-                            const ResourceBudget& budget_spec) const override {
+                            const ResourceBudget& budget_spec,
+                            EvalContext* ctx = nullptr) const override {
     BudgetTracker budget(budget_spec);
+    EvalProfile* profile = ctx != nullptr ? ctx->profile : nullptr;
+    BudgetProfileScope budget_scope(profile, &budget);
     std::unordered_set<std::string> results;
+    size_t conjunct_offset = 0;
     for (const QueryRule& rule : query.rules) {
-      MatchState state{graph, rule, &budget, &results, {}, {}};
+      MatchState state{graph,  rule, &budget,        &results,
+                       {},     {},   profile,        conjunct_offset};
       GMARK_RETURN_NOT_OK(MatchConjunct(state, 0));
+      conjunct_offset += rule.body.size();
     }
     return static_cast<uint64_t>(results.size());
   }
@@ -166,6 +207,8 @@ class CypherEngine : public QueryEngine {
     std::unordered_set<std::string>* results;
     std::unordered_map<VarId, NodeId> bindings;
     std::unordered_set<uint64_t> used_edges;  // relationship isomorphism
+    EvalProfile* profile;     // may be null
+    size_t conjunct_offset;   // this rule's first global conjunct index
   };
 
   static uint64_t EdgeId(const Graph& graph, PredicateId p, NodeId s,
@@ -264,11 +307,27 @@ class CypherEngine : public QueryEngine {
   }
 
   Status MatchConjunct(MatchState& state, size_t index) const {
+    if (state.profile != nullptr && index > 0) {
+      // Entering depth `index` means conjunct index-1 just matched once:
+      // the DFS engine's "row", since it materializes no relations.
+      ++state.profile->Conjunct(state.conjunct_offset + index - 1).rows;
+    }
     if (index == state.rule.body.size()) {
       GMARK_RETURN_NOT_OK(state.budget->ChargeTuples(1));
       state.results->insert(HeadKey(state));
       return Status::OK();
     }
+    if (state.profile == nullptr) return DoMatchConjunct(state, index);
+    // Inclusive seconds: the DFS interleaves conjuncts, so conjunct i's
+    // time contains conjuncts i+1.. (documented in ConjunctProfile).
+    WallTimer timer;
+    Status st = DoMatchConjunct(state, index);
+    state.profile->Conjunct(state.conjunct_offset + index).seconds +=
+        timer.ElapsedSeconds();
+    return st;
+  }
+
+  Status DoMatchConjunct(MatchState& state, size_t index) const {
     const Conjunct& c = state.rule.body[index];
 
     auto try_from = [&](NodeId source) -> Status {

@@ -28,6 +28,7 @@
 
 #include "engine/budget.h"
 #include "graph/graph.h"
+#include "obs/eval_profile.h"
 #include "query/query.h"
 #include "util/result.h"
 
@@ -50,9 +51,12 @@ class QueryEngine {
   /// \brief Human-readable strategy description.
   virtual std::string description() const = 0;
   /// \brief count(distinct head) of the query on the graph, within
-  /// budget. ResourceExhausted models the paper's failed runs.
+  /// budget. ResourceExhausted models the paper's failed runs. `ctx`,
+  /// when given, receives the evaluation profile (obs/eval_profile.h) —
+  /// filled on success and failure alike; the count never depends on it.
   virtual Result<uint64_t> Evaluate(const Graph& graph, const Query& query,
-                                    const ResourceBudget& budget) const = 0;
+                                    const ResourceBudget& budget,
+                                    EvalContext* ctx = nullptr) const = 0;
 };
 
 /// \brief Instantiate a simulator.

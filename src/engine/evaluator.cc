@@ -32,11 +32,28 @@ class ResettableBitset {
   std::vector<size_t> touched_;
 };
 
+/// Flushes locally accumulated BFS statistics into an EvalProfile on
+/// every exit path — a query killed by its budget mid-traversal is
+/// exactly the one whose statistics must survive to explain the kill.
+struct BfsStatsFlush {
+  EvalProfile* profile;
+  const uint64_t* pops;
+  const uint64_t* peak_frontier;
+
+  ~BfsStatsFlush() {
+    if (profile == nullptr) return;
+    profile->bfs_pops += *pops;
+    if (*peak_frontier > profile->bfs_peak_frontier) {
+      profile->bfs_peak_frontier = *peak_frontier;
+    }
+  }
+};
+
 }  // namespace
 
 template <typename Emit>
 Status RpqEvaluator::ForEachSource(const Nfa& nfa, BudgetTracker* budget,
-                                   Emit&& emit) const {
+                                   EvalProfile* profile, Emit&& emit) const {
   const size_t n = static_cast<size_t>(graph_->num_nodes());
   const size_t k = nfa.state_count();
   const uint32_t accept = nfa.accept();
@@ -63,6 +80,11 @@ Status RpqEvaluator::ForEachSource(const Nfa& nfa, BudgetTracker* budget,
   // timeout unboundedly (its whole product-graph traversal runs
   // between two checks).
   PeriodicTimeCheck time_check(budget);
+  // Profile statistics accumulate in locals (registers) and flush once
+  // on scope exit, so a null or live profile costs the BFS loop nothing.
+  uint64_t pops = 0;
+  uint64_t peak_frontier = 0;
+  BfsStatsFlush flush{profile, &pops, &peak_frontier};
 
   for (NodeId source = 0; source < n; ++source) {
     const bool starts = has_start_edge(source);
@@ -83,10 +105,12 @@ Status RpqEvaluator::ForEachSource(const Nfa& nfa, BudgetTracker* budget,
       uint64_t init = static_cast<uint64_t>(source) * k + nfa.start();
       visited.TestAndSet(init);
       stack.push_back(init);
+      if (stack.size() > peak_frontier) peak_frontier = stack.size();
       while (!stack.empty()) {
         GMARK_RETURN_NOT_OK(time_check.Check());
         uint64_t packed = stack.back();
         stack.pop_back();
+        ++pops;
         NodeId u = static_cast<NodeId>(packed / k);
         uint32_t q = static_cast<uint32_t>(packed % k);
         if (q == accept && !accepted.TestAndSet(u)) {
@@ -102,6 +126,7 @@ Status RpqEvaluator::ForEachSource(const Nfa& nfa, BudgetTracker* budget,
             if (!visited.TestAndSet(next)) stack.push_back(next);
           }
         }
+        if (stack.size() > peak_frontier) peak_frontier = stack.size();
       }
     }
     GMARK_RETURN_NOT_OK(emit(source, targets));
@@ -110,10 +135,11 @@ Status RpqEvaluator::ForEachSource(const Nfa& nfa, BudgetTracker* budget,
 }
 
 Result<uint64_t> RpqEvaluator::CountPairs(const Nfa& nfa,
-                                          BudgetTracker* budget) const {
+                                          BudgetTracker* budget,
+                                          EvalProfile* profile) const {
   uint64_t total = 0;
   Status st = ForEachSource(
-      nfa, budget, [&](NodeId, const std::vector<NodeId>& targets) {
+      nfa, budget, profile, [&](NodeId, const std::vector<NodeId>& targets) {
         total += targets.size();
         return budget->ChargeTuples(targets.size());
       });
@@ -122,10 +148,11 @@ Result<uint64_t> RpqEvaluator::CountPairs(const Nfa& nfa,
 }
 
 Result<std::vector<std::pair<NodeId, NodeId>>> RpqEvaluator::MaterializePairs(
-    const Nfa& nfa, BudgetTracker* budget) const {
+    const Nfa& nfa, BudgetTracker* budget, EvalProfile* profile) const {
   std::vector<std::pair<NodeId, NodeId>> pairs;
   Status st = ForEachSource(
-      nfa, budget, [&](NodeId source, const std::vector<NodeId>& targets) {
+      nfa, budget, profile,
+      [&](NodeId source, const std::vector<NodeId>& targets) {
         GMARK_RETURN_NOT_OK(budget->ChargeTuples(targets.size()));
         for (NodeId t : targets) pairs.emplace_back(source, t);
         return Status::OK();
@@ -135,7 +162,8 @@ Result<std::vector<std::pair<NodeId, NodeId>>> RpqEvaluator::MaterializePairs(
 }
 
 Result<std::vector<NodeId>> RpqEvaluator::TargetsFrom(
-    NodeId source, const Nfa& nfa, BudgetTracker* budget) const {
+    NodeId source, const Nfa& nfa, BudgetTracker* budget,
+    EvalProfile* profile) const {
   const size_t n = static_cast<size_t>(graph_->num_nodes());
   const size_t k = nfa.state_count();
   ResettableBitset visited(n * k);
@@ -153,10 +181,14 @@ Result<std::vector<NodeId>> RpqEvaluator::TargetsFrom(
   // dominated small traversals; the shared helper keeps enforcement
   // within ~4096 pops of the deadline at negligible cost.
   PeriodicTimeCheck time_check(budget);
+  uint64_t pops = 0;
+  uint64_t peak_frontier = stack.size();
+  BfsStatsFlush flush{profile, &pops, &peak_frontier};
   while (!stack.empty()) {
     GMARK_RETURN_NOT_OK(time_check.Check());
     uint64_t packed = stack.back();
     stack.pop_back();
+    ++pops;
     NodeId u = static_cast<NodeId>(packed / k);
     uint32_t q = static_cast<uint32_t>(packed % k);
     if (q == nfa.accept() && !accepted.TestAndSet(u)) {
@@ -172,20 +204,25 @@ Result<std::vector<NodeId>> RpqEvaluator::TargetsFrom(
         if (!visited.TestAndSet(next)) stack.push_back(next);
       }
     }
+    if (stack.size() > peak_frontier) peak_frontier = stack.size();
   }
   return targets;
 }
 
 Result<VarRelation> ReferenceEvaluator::EvaluateRuleJoin(
-    const QueryRule& rule, BudgetTracker* budget) const {
+    const QueryRule& rule, BudgetTracker* budget, EvalContext* ctx) const {
+  EvalProfile* profile = ctx != nullptr ? ctx->profile : nullptr;
   VarRelation acc;
   bool first = true;
-  for (const Conjunct& c : rule.body) {
+  for (size_t ci = 0; ci < rule.body.size(); ++ci) {
+    const Conjunct& c = rule.body[ci];
+    WallTimer conjunct_timer;
     GMARK_ASSIGN_OR_RETURN(Nfa nfa, Nfa::FromRegex(c.expr));
     VarRelation rel;
     size_t staged_pairs = 0;
     {
-      GMARK_ASSIGN_OR_RETURN(auto pairs, rpq_.MaterializePairs(nfa, budget));
+      GMARK_ASSIGN_OR_RETURN(auto pairs,
+                             rpq_.MaterializePairs(nfa, budget, profile));
       rel = VarRelation::FromPairs(c.source, c.target, pairs);
       // The relation copy lives alongside the pair vector until the
       // scope closes: charge it for its lifetime, and release the pair
@@ -195,6 +232,7 @@ Result<VarRelation> ReferenceEvaluator::EvaluateRuleJoin(
       staged_pairs = pairs.size();
     }
     budget->ReleaseTuples(staged_pairs);
+    const size_t conjunct_rows = rel.row_count();
     if (first) {
       acc = std::move(rel);  // rel's charge transfers to acc.
       first = false;
@@ -204,6 +242,11 @@ Result<VarRelation> ReferenceEvaluator::EvaluateRuleJoin(
       // Both join inputs die here (rel, and the acc the join replaced).
       budget->ReleaseTuples(join_inputs);
     }
+    if (profile != nullptr) {
+      ConjunctProfile& cp = profile->Conjunct(ci);
+      cp.rows += conjunct_rows;
+      cp.seconds += conjunct_timer.ElapsedSeconds();
+    }
   }
   GMARK_ASSIGN_OR_RETURN(VarRelation projected,
                          ProjectDistinct(acc, rule.head, budget));
@@ -212,8 +255,11 @@ Result<VarRelation> ReferenceEvaluator::EvaluateRuleJoin(
 }
 
 Result<uint64_t> ReferenceEvaluator::CountDistinct(
-    const Query& query, const ResourceBudget& budget_spec) const {
+    const Query& query, const ResourceBudget& budget_spec,
+    EvalContext* ctx) const {
   BudgetTracker budget(budget_spec);
+  EvalProfile* profile = ctx != nullptr ? ctx->profile : nullptr;
+  BudgetProfileScope budget_scope(profile, &budget);
 
   // Fast path: a single rule whose body is a chain and whose head is the
   // chain's endpoints — exactly the binary queries of the paper's
@@ -233,12 +279,13 @@ Result<uint64_t> ReferenceEvaluator::CountDistinct(
           first_var != last_var;
       if (endpoints_pair) {
         GMARK_ASSIGN_OR_RETURN(Nfa nfa, Nfa::FromConjunctChain(conjuncts));
-        return rpq_.CountPairs(nfa, &budget);
+        return rpq_.CountPairs(nfa, &budget, profile);
       }
       if (head.empty()) {
         // Boolean chain: any accepted pair suffices.
         GMARK_ASSIGN_OR_RETURN(Nfa nfa, Nfa::FromConjunctChain(conjuncts));
-        GMARK_ASSIGN_OR_RETURN(uint64_t pairs, rpq_.CountPairs(nfa, &budget));
+        GMARK_ASSIGN_OR_RETURN(uint64_t pairs,
+                               rpq_.CountPairs(nfa, &budget, profile));
         return static_cast<uint64_t>(pairs > 0 ? 1 : 0);
       }
     }
@@ -247,7 +294,8 @@ Result<uint64_t> ReferenceEvaluator::CountDistinct(
   // General path: join per rule, distinct union across rules.
   std::vector<VarRelation> per_rule;
   for (const QueryRule& rule : query.rules) {
-    GMARK_ASSIGN_OR_RETURN(VarRelation rel, EvaluateRuleJoin(rule, &budget));
+    GMARK_ASSIGN_OR_RETURN(VarRelation rel,
+                           EvaluateRuleJoin(rule, &budget, ctx));
     per_rule.push_back(std::move(rel));
   }
   return CountDistinctUnion(per_rule, &budget);

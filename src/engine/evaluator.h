@@ -18,27 +18,33 @@
 #include "engine/budget.h"
 #include "engine/relation.h"
 #include "graph/graph.h"
+#include "obs/eval_profile.h"
 #include "query/query.h"
 #include "util/result.h"
 
 namespace gmark {
 
-/// \brief Low-level RPQ evaluation over one graph.
+/// \brief Low-level RPQ evaluation over one graph. All entry points
+/// take an optional EvalProfile that accumulates BFS pop counts and
+/// peak frontier size; a null profile costs one pointer test per BFS.
 class RpqEvaluator {
  public:
   /// \brief `graph` must outlive the evaluator.
   explicit RpqEvaluator(const Graph* graph) : graph_(graph) {}
 
   /// \brief Count distinct (source, target) pairs accepted by `nfa`.
-  Result<uint64_t> CountPairs(const Nfa& nfa, BudgetTracker* budget) const;
+  Result<uint64_t> CountPairs(const Nfa& nfa, BudgetTracker* budget,
+                              EvalProfile* profile = nullptr) const;
 
   /// \brief Materialize all accepted pairs (set semantics).
   Result<std::vector<std::pair<NodeId, NodeId>>> MaterializePairs(
-      const Nfa& nfa, BudgetTracker* budget) const;
+      const Nfa& nfa, BudgetTracker* budget,
+      EvalProfile* profile = nullptr) const;
 
   /// \brief Distinct targets reachable from one source.
-  Result<std::vector<NodeId>> TargetsFrom(NodeId source, const Nfa& nfa,
-                                          BudgetTracker* budget) const;
+  Result<std::vector<NodeId>> TargetsFrom(
+      NodeId source, const Nfa& nfa, BudgetTracker* budget,
+      EvalProfile* profile = nullptr) const;
 
   const Graph& graph() const { return *graph_; }
 
@@ -47,7 +53,7 @@ class RpqEvaluator {
   // accepted targets to `emit(source, targets)`.
   template <typename Emit>
   Status ForEachSource(const Nfa& nfa, BudgetTracker* budget,
-                       Emit&& emit) const;
+                       EvalProfile* profile, Emit&& emit) const;
 
   const Graph* graph_;
 };
@@ -58,16 +64,19 @@ class ReferenceEvaluator {
   explicit ReferenceEvaluator(const Graph* graph) : rpq_(graph) {}
 
   /// \brief |Q(G)| with distinct set semantics — the paper's measurement
-  /// (§7.1 applies count(distinct ...) to every query).
+  /// (§7.1 applies count(distinct ...) to every query). `ctx`, when
+  /// given, receives the evaluation profile (obs/eval_profile.h).
   Result<uint64_t> CountDistinct(
       const Query& query,
-      const ResourceBudget& budget = ResourceBudget::Unlimited()) const;
+      const ResourceBudget& budget = ResourceBudget::Unlimited(),
+      EvalContext* ctx = nullptr) const;
 
   /// \brief Evaluate one rule into a relation over its head variables
   /// (join-based; used for non-chain shapes and by tests as an
   /// independent oracle for the chain fast path).
   Result<VarRelation> EvaluateRuleJoin(const QueryRule& rule,
-                                       BudgetTracker* budget) const;
+                                       BudgetTracker* budget,
+                                       EvalContext* ctx = nullptr) const;
 
  private:
   RpqEvaluator rpq_;

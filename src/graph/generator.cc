@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/random.h"
 #include "util/timer.h"
 
@@ -171,11 +173,16 @@ Result<Graph> GenerateGraph(const GraphConfiguration& config,
                             const GeneratorOptions& options,
                             GenerateStats* stats) {
   WallTimer timer;
+  Span layout_span = TraceSpan("gen.layout", "gen");
   GMARK_ASSIGN_OR_RETURN(NodeLayout layout, NodeLayout::Create(config));
+  layout_span.End();
   const double layout_seconds = timer.ElapsedSeconds();
   timer.Restart();
   VectorSink sink;
-  GMARK_RETURN_NOT_OK(GenerateEdges(config, &sink, options));
+  {
+    Span generate_span = TraceSpan("gen.generate", "gen");
+    GMARK_RETURN_NOT_OK(GenerateEdges(config, &sink, options));
+  }
   const double generate_seconds = timer.ElapsedSeconds();
   if (stats != nullptr) {
     stats->total_edges = sink.edges().size();
@@ -185,11 +192,34 @@ Result<Graph> GenerateGraph(const GraphConfiguration& config,
     stats->generate_seconds = generate_seconds;
   }
   timer.Restart();
+  Span index_span = TraceSpan("gen.index", "gen");
   Result<Graph> graph =
       Graph::Build(std::move(layout), config.schema.predicate_count(),
                    std::move(sink.edges()));
-  if (stats != nullptr) stats->index_seconds = timer.ElapsedSeconds();
+  index_span.End();
+  if (stats != nullptr) {
+    stats->index_seconds = timer.ElapsedSeconds();
+    stats->Record(GlobalMetrics());
+  }
   return graph;
+}
+
+void GenerateStats::Record(MetricRegistry* metrics) const {
+  if (metrics == nullptr) return;
+  metrics->Add(metrics->Counter("gen.total_edges"), total_edges);
+  metrics->GaugeMax(metrics->Gauge("gen.peak_resident_edge_bytes"),
+                    peak_resident_edge_bytes);
+  if (spilled) metrics->Add(metrics->Counter("gen.spilled_runs"), 1);
+  metrics->Add(metrics->Counter("gen.layout_nanos"),
+               static_cast<uint64_t>(layout_seconds * 1e9));
+  metrics->Add(metrics->Counter("gen.generate_nanos"),
+               static_cast<uint64_t>(generate_seconds * 1e9));
+  metrics->Add(metrics->Counter("gen.index_nanos"),
+               static_cast<uint64_t>(index_seconds * 1e9));
+  metrics->Add(metrics->Counter("gen.index_forward_groups"),
+               index_forward_groups);
+  metrics->Add(metrics->Counter("gen.index_transpose_groups"),
+               index_transpose_groups);
 }
 
 }  // namespace gmark

@@ -20,6 +20,8 @@
 
 namespace gmark {
 
+class MetricRegistry;
+
 /// \brief Receives generated edges one at a time; implementations write
 /// to memory, disk, or just count.
 class EdgeSink {
@@ -122,6 +124,10 @@ struct GenerateStats {
   /// than predicates means intra-predicate parallelism engaged.
   size_t index_forward_groups = 0;
   size_t index_transpose_groups = 0;
+
+  /// \brief Publish this run into a metric registry (gen.* counters and
+  /// gauges; see README "Observability"). Null registry is a no-op.
+  void Record(MetricRegistry* metrics) const;
 };
 
 /// \brief Run the Fig. 5 algorithm, streaming edges into `sink`.

@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/trace.h"
 #include "parallel/executor.h"
 
 namespace gmark {
@@ -115,6 +116,11 @@ void Graph::Builder::SetChunkedStream(PredicateId a, StreamSpec spec) {
 }
 
 Result<Graph> Graph::Builder::Build(Executor* executor, BuildStats* stats) && {
+  // Hoisted once: every build task captures the tracer pointer instead
+  // of paying the global atomic load per task. Null means tracing off.
+  Tracer* const tracer = GlobalTracer();
+  Span build_span =
+      tracer != nullptr ? tracer->StartSpan("csr.build", "build") : Span();
   const int64_t num_nodes = layout_.total_nodes();
   const NodeId node_limit = static_cast<NodeId>(num_nodes);
   // Auto grouping: 2x the workers balances stragglers against
@@ -179,7 +185,13 @@ Result<Graph> Graph::Builder::Build(Executor* executor, BuildStats* stats) && {
     const Slot* s = &slot;
     for (ChunkGroup& group : slot.groups) {
       ChunkGroup* g = &group;
-      executor->Submit([s, g, p, node_limit] {
+      executor->Submit([s, g, p, node_limit, tracer] {
+        Span span = tracer != nullptr
+                        ? tracer->StartSpan("csr.count", "build")
+                        : Span();
+        if (span.active()) {
+          span.SetAttribute("predicate", static_cast<int64_t>(p));
+        }
         g->counts.assign(static_cast<size_t>(s->src_end - s->src_begin), 0);
         g->status = s->spec.stream(
             g->begin, g->end, [&](std::span<const Edge> block) -> Status {
@@ -217,7 +229,11 @@ Result<Graph> Graph::Builder::Build(Executor* executor, BuildStats* stats) && {
   for (Slot& slot : slots) {
     if (!slot.active) continue;
     Slot* s = &slot;
-    executor->Submit([s, num_nodes] {
+    const auto p = static_cast<int64_t>(&slot - slots.data());
+    executor->Submit([s, p, num_nodes, tracer] {
+      Span span = tracer != nullptr ? tracer->StartSpan("csr.scan", "build")
+                                    : Span();
+      if (span.active()) span.SetAttribute("predicate", p);
       for (const ChunkGroup& g : s->groups) {
         if (!g.status.ok()) {
           s->status = g.status;
@@ -263,9 +279,14 @@ Result<Graph> Graph::Builder::Build(Executor* executor, BuildStats* stats) && {
     if (!slot.active || !slot.status.ok()) continue;
     const Slot* s = &slot;
     Csr* fwd = &slot.forward;
+    const auto p = static_cast<int64_t>(&slot - slots.data());
     for (ChunkGroup& group : slot.groups) {
       ChunkGroup* g = &group;
-      executor->Submit([s, g, fwd] {
+      executor->Submit([s, g, p, fwd, tracer] {
+        Span span = tracer != nullptr
+                        ? tracer->StartSpan("csr.scatter", "build")
+                        : Span();
+        if (span.active()) span.SetAttribute("predicate", p);
         g->status = s->spec.stream(
             g->begin, g->end, [&](std::span<const Edge> block) -> Status {
               for (const Edge& e : block) {
@@ -347,9 +368,14 @@ Result<Graph> Graph::Builder::Build(Executor* executor, BuildStats* stats) && {
   for (Slot& slot : slots) {
     if (!slot.active || !slot.status.ok()) continue;
     const Slot* s = &slot;
+    const auto p = static_cast<int64_t>(&slot - slots.data());
     for (ChunkGroup& group : slot.tgroups) {
       ChunkGroup* g = &group;
-      executor->Submit([s, g] {
+      executor->Submit([s, g, p, tracer] {
+        Span span = tracer != nullptr
+                        ? tracer->StartSpan("csr.transpose_count", "build")
+                        : Span();
+        if (span.active()) span.SetAttribute("predicate", p);
         g->counts.assign(static_cast<size_t>(s->trg_end - s->trg_begin), 0);
         const Csr& fwd = s->forward;
         for (size_t v = g->begin; v < g->end; ++v) {
@@ -371,7 +397,12 @@ Result<Graph> Graph::Builder::Build(Executor* executor, BuildStats* stats) && {
   for (Slot& slot : slots) {
     if (!slot.active || !slot.status.ok() || slot.tgroups.empty()) continue;
     Slot* s = &slot;
-    executor->Submit([s, num_nodes] {
+    const auto p = static_cast<int64_t>(&slot - slots.data());
+    executor->Submit([s, p, num_nodes, tracer] {
+      Span span = tracer != nullptr
+                      ? tracer->StartSpan("csr.transpose_scan", "build")
+                      : Span();
+      if (span.active()) span.SetAttribute("predicate", p);
       for (const ChunkGroup& g : s->tgroups) {
         if (!g.status.ok()) {
           s->status = g.status;
@@ -414,9 +445,14 @@ Result<Graph> Graph::Builder::Build(Executor* executor, BuildStats* stats) && {
     if (!slot.active || !slot.status.ok()) continue;
     const Slot* s = &slot;
     Csr* bwd = &slot.backward;
+    const auto p = static_cast<int64_t>(&slot - slots.data());
     for (ChunkGroup& group : slot.tgroups) {
       ChunkGroup* g = &group;
-      executor->Submit([s, g, bwd] {
+      executor->Submit([s, g, p, bwd, tracer] {
+        Span span = tracer != nullptr
+                        ? tracer->StartSpan("csr.transpose_scatter", "build")
+                        : Span();
+        if (span.active()) span.SetAttribute("predicate", p);
         const Csr& fwd = s->forward;
         for (size_t v = g->begin; v < g->end; ++v) {
           for (size_t i = fwd.offsets[v]; i < fwd.offsets[v + 1]; ++i) {

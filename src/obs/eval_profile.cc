@@ -1,0 +1,62 @@
+#include "obs/eval_profile.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "engine/budget.h"
+
+namespace gmark {
+
+void EvalProfile::RecordBudget(const BudgetTracker& tracker) {
+  peak_tuples = tracker.peak_tuples();
+  tuples_scanned = tracker.tuples_scanned();
+  over_releases = tracker.over_releases();
+  const size_t max_tuples = tracker.budget().max_tuples;
+  tuple_headroom =
+      max_tuples > peak_tuples ? max_tuples - peak_tuples : 0;
+}
+
+std::string EvalProfile::ToJson() const {
+  std::ostringstream os;
+  os << "{\"conjuncts\": [";
+  bool first = true;
+  for (const ConjunctProfile& c : conjuncts) {
+    char sec[32];
+    std::snprintf(sec, sizeof(sec), "%.6f", c.seconds);
+    os << (first ? "" : ", ") << "{\"rows\": " << c.rows
+       << ", \"seconds\": " << sec
+       << ", \"fixpoint_rounds\": " << c.fixpoint_rounds << "}";
+    first = false;
+  }
+  os << "], \"bfs_pops\": " << bfs_pops
+     << ", \"bfs_peak_frontier\": " << bfs_peak_frontier
+     << ", \"fixpoint_rounds\": " << fixpoint_rounds
+     << ", \"peak_tuples\": " << peak_tuples
+     << ", \"tuples_scanned\": " << tuples_scanned
+     << ", \"tuple_headroom\": " << tuple_headroom
+     << ", \"over_releases\": " << over_releases << "}";
+  return os.str();
+}
+
+std::string EvalProfile::ToString() const {
+  std::ostringstream os;
+  os << "peak_tuples=" << peak_tuples << " scanned=" << tuples_scanned
+     << " headroom=" << tuple_headroom;
+  if (bfs_pops > 0) {
+    os << " bfs_pops=" << bfs_pops << " peak_frontier=" << bfs_peak_frontier;
+  }
+  if (fixpoint_rounds > 0) os << " fixpoint_rounds=" << fixpoint_rounds;
+  if (over_releases > 0) os << " over_releases=" << over_releases;
+  os << " conjuncts=[";
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s%llu rows/%.3fs", i == 0 ? "" : " ",
+                  static_cast<unsigned long long>(conjuncts[i].rows),
+                  conjuncts[i].seconds);
+    os << buf;
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace gmark

@@ -1,0 +1,100 @@
+// Per-query evaluation profiles: where a query's time and memory went.
+//
+// An EvalContext rides through QueryEngine::Evaluate (and the reference
+// evaluator) as an optional pointer; engines that receive one fill its
+// EvalProfile with per-conjunct rows/seconds, BFS pop and frontier
+// statistics, fixpoint round counts, and the BudgetTracker's
+// peak/scanned/headroom numbers. A null context costs the engines one
+// pointer test per recording site — evaluation output never depends on
+// whether a profile is attached.
+
+#ifndef GMARK_OBS_EVAL_PROFILE_H_
+#define GMARK_OBS_EVAL_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gmark {
+
+class BudgetTracker;
+class MetricRegistry;
+class Tracer;
+struct ResourceBudget;
+
+/// \brief Observed cost of one body conjunct.
+struct ConjunctProfile {
+  /// Result rows the conjunct materialized (match count for the DFS
+  /// engine, which never materializes a conjunct relation).
+  uint64_t rows = 0;
+  /// Wall seconds spent producing the conjunct. Inclusive of deeper
+  /// conjuncts for the DFS engine (its recursion interleaves them);
+  /// exclusive for the materializing engines.
+  double seconds = 0.0;
+  /// Fixpoint rounds this conjunct's Kleene closure ran (0 if no star).
+  uint64_t fixpoint_rounds = 0;
+};
+
+/// \brief Everything observed about one evaluation.
+struct EvalProfile {
+  /// One entry per body conjunct, concatenated across rules in rule
+  /// order (the paper's workloads are single-rule).
+  std::vector<ConjunctProfile> conjuncts;
+
+  // BFS evaluator statistics (S engine and the reference evaluator).
+  uint64_t bfs_pops = 0;           ///< Product-graph states popped.
+  uint64_t bfs_peak_frontier = 0;  ///< Max pending-stack size.
+
+  uint64_t fixpoint_rounds = 0;  ///< Total across conjuncts.
+
+  // BudgetTracker tuple accounting at evaluation end.
+  uint64_t peak_tuples = 0;     ///< High-water mark of charged tuples.
+  uint64_t tuples_scanned = 0;  ///< Observational scan charge.
+  uint64_t tuple_headroom = 0;  ///< max_tuples - peak (saturating).
+  uint64_t over_releases = 0;   ///< ReleaseTuples calls exceeding charge.
+
+  /// \brief Grow-on-demand access to conjuncts[i].
+  ConjunctProfile& Conjunct(size_t i) {
+    if (conjuncts.size() <= i) conjuncts.resize(i + 1);
+    return conjuncts[i];
+  }
+
+  /// \brief Copy the tracker's final accounting (and the budget's
+  /// headroom) into this profile. Engines call it on every exit path.
+  void RecordBudget(const BudgetTracker& tracker);
+
+  /// \brief Deterministic JSON object (schema documented in README).
+  std::string ToJson() const;
+  /// \brief One compact human-readable line, e.g. for failure tables.
+  std::string ToString() const;
+};
+
+/// \brief Optional observability context threaded through evaluation.
+/// All pointers may be null; engines must work identically without one.
+struct EvalContext {
+  EvalProfile* profile = nullptr;
+  MetricRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+};
+
+/// \brief RAII: snapshots a BudgetTracker into a profile on scope exit,
+/// success and failure alike — a budget-killed query is exactly the one
+/// whose accounting must survive to classify the failure.
+class BudgetProfileScope {
+ public:
+  BudgetProfileScope(EvalProfile* profile, const BudgetTracker* tracker)
+      : profile_(profile), tracker_(tracker) {}
+  BudgetProfileScope(const BudgetProfileScope&) = delete;
+  BudgetProfileScope& operator=(const BudgetProfileScope&) = delete;
+  ~BudgetProfileScope() {
+    if (profile_ != nullptr) profile_->RecordBudget(*tracker_);
+  }
+
+ private:
+  EvalProfile* profile_;
+  const BudgetTracker* tracker_;
+};
+
+}  // namespace gmark
+
+#endif  // GMARK_OBS_EVAL_PROFILE_H_

@@ -1,0 +1,187 @@
+// Sharded metric registry: named counters, gauges, and log2-bucketed
+// histograms whose hot-path updates go to per-worker shards.
+//
+// Design. A metric is registered once (mutex-protected, returns a dense
+// id) and updated many times. Updates route to the shard indexed by
+// ThreadPool::CurrentWorkerId(), so two pool workers never contend on
+// the same cache lines; cells are relaxed atomics, so a thread that has
+// no worker id (or a worker id beyond the shard count) can still share
+// a shard safely — lock-free either way, and never a perturbation of
+// the instrumented computation's output. Snapshot() merges the shards
+// deterministically in worker order (0..N-1); since counter cells are
+// integers the merged totals are exact and order-independent, and the
+// fixed order keeps the snapshot's derived views reproducible.
+//
+// Disabled path. Instrumented code reads the process-global registry
+// pointer (GlobalMetrics(), default nullptr) and skips every update
+// when it is null — the whole layer costs one relaxed pointer load and
+// one branch per instrumentation site when off.
+//
+// Semantics per kind:
+//   counter    — monotone sum; merged by addition across shards.
+//   gauge      — level/peak value; each Set keeps the per-shard MAX and
+//                the merge takes the max across shards (the right fold
+//                for the peaks this repo tracks: peak tuples, peak
+//                resident bytes). Not a last-write-wins register.
+//   histogram  — log2 buckets: bucket 0 counts zeros, bucket i>=1
+//                counts values in [2^(i-1), 2^i); plus exact sum and
+//                count. Merged by bucket-wise addition.
+
+#ifndef GMARK_OBS_METRICS_H_
+#define GMARK_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gmark {
+
+/// \brief Merged, immutable view of one histogram at snapshot time.
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  /// bucket[0] counts zeros; bucket[i>=1] counts values in
+  /// [2^(i-1), 2^i).
+  std::vector<uint64_t> buckets;
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// \brief Upper bound of the bucket holding quantile `q` in [0,1]
+  /// (log2 resolution; 0 when empty).
+  uint64_t QuantileBound(double q) const;
+};
+
+/// \brief Merged, immutable view of a whole registry at snapshot time.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;  // registration order
+  std::vector<std::pair<std::string, uint64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// \brief Deterministic JSON (names sorted within each section) —
+  /// the `--metrics-json` schema; golden-tested.
+  std::string ToJson() const;
+  /// \brief Human-readable aligned table (the `--stats` surface).
+  std::string ToTable() const;
+};
+
+/// \brief Registry of named metrics with per-worker update shards.
+class MetricRegistry {
+ public:
+  /// Encodes kind (top byte) and cell slot (low bytes) so hot-path
+  /// updates decode their target cell with arithmetic alone — no name
+  /// lookup, no lock, no shared read of registration state.
+  using MetricId = uint32_t;
+
+  /// \brief `shard_count` 0 means one shard per default pool worker
+  /// plus one for non-pool threads.
+  explicit MetricRegistry(size_t shard_count = 0);
+
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// \brief Register (or look up) a metric. Idempotent per name within
+  /// a kind; registering the same name under two kinds is a programming
+  /// error and returns the first registration.
+  MetricId Counter(const std::string& name);
+  MetricId Gauge(const std::string& name);
+  MetricId Histogram(const std::string& name);
+
+  /// \brief Hot-path updates. `id` must come from the matching
+  /// registration call on this registry.
+  void Add(MetricId id, uint64_t delta = 1);      // counter += delta
+  void GaugeMax(MetricId id, uint64_t value);     // gauge = max(gauge, value)
+  void Observe(MetricId id, uint64_t value);      // histogram sample
+
+  /// \brief Merge all shards in worker order into one immutable view.
+  /// Safe to call concurrently with updates (relaxed reads — a snapshot
+  /// taken mid-update sees each cell either before or after); exact
+  /// when callers quiesce first (e.g. after Executor::Wait()).
+  MetricsSnapshot Snapshot() const;
+
+  size_t shard_count() const { return shards_.size(); }
+
+  /// \brief log2 bucket index of `value` (0 for 0; else bit_width).
+  static size_t BucketIndex(uint64_t value);
+  /// \brief Inclusive lower bound of bucket `i` (0, then 2^(i-1)).
+  static uint64_t BucketLowerBound(size_t i);
+  /// \brief Exclusive upper bound of bucket `i`.
+  static uint64_t BucketUpperBound(size_t i);
+
+  /// Histogram bucket count: zeros bucket + one per possible bit width.
+  static constexpr size_t kHistogramBuckets = 65;
+  /// Fixed per-shard cell capacity, allocated at construction so that
+  /// registration never reallocates shard storage concurrently with
+  /// updates. Registration past capacity folds into the last slot
+  /// (asserted in debug builds) — raise the constants if a subsystem
+  /// ever needs more names.
+  static constexpr size_t kMaxScalars = 512;
+  static constexpr size_t kMaxHistograms = 64;
+
+ private:
+  struct HistogramCells {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> buckets[kHistogramBuckets] = {};
+  };
+  struct Shard {
+    // Sized kMaxScalars / kMaxHistograms once in the constructor and
+    // never resized: cell addresses stay stable for lock-free updates.
+    std::vector<std::atomic<uint64_t>> scalars;
+    std::vector<HistogramCells> histograms;
+  };
+  enum class Kind : uint32_t { kCounter = 1, kGauge = 2, kHistogram = 3 };
+  struct Def {
+    std::string name;
+    Kind kind;
+    uint32_t slot;  // index into Shard::scalars or Shard::histograms
+  };
+
+  static MetricId EncodeId(Kind kind, uint32_t slot) {
+    return (static_cast<uint32_t>(kind) << 24) | slot;
+  }
+  static uint32_t SlotOf(MetricId id) { return id & 0xffffff; }
+  static Kind KindOf(MetricId id) { return static_cast<Kind>(id >> 24); }
+
+  MetricId Register(const std::string& name, Kind kind);
+  Shard& LocalShard();
+
+  mutable std::mutex reg_mu_;
+  std::vector<Def> defs_;
+  // Metric names are unique across kinds (debug-asserted): the value
+  // is an index into defs_, from which the encoded id is rebuilt.
+  std::unordered_map<std::string, size_t> by_name_;
+  std::vector<Shard> shards_;
+  uint32_t scalar_slots_ = 0;
+  uint32_t histogram_slots_ = 0;
+};
+
+/// \brief Process-global registry used by instrumented code paths.
+/// Defaults to nullptr = observability disabled (every instrumentation
+/// site reduces to a relaxed load and a not-taken branch).
+MetricRegistry* GlobalMetrics();
+void SetGlobalMetrics(MetricRegistry* registry);
+
+/// \brief RAII installer for GlobalMetrics (tests, CLI, benches).
+class ScopedGlobalMetrics {
+ public:
+  explicit ScopedGlobalMetrics(MetricRegistry* registry)
+      : previous_(GlobalMetrics()) {
+    SetGlobalMetrics(registry);
+  }
+  ~ScopedGlobalMetrics() { SetGlobalMetrics(previous_); }
+  ScopedGlobalMetrics(const ScopedGlobalMetrics&) = delete;
+  ScopedGlobalMetrics& operator=(const ScopedGlobalMetrics&) = delete;
+
+ private:
+  MetricRegistry* previous_;
+};
+
+}  // namespace gmark
+
+#endif  // GMARK_OBS_METRICS_H_

@@ -1,0 +1,152 @@
+// Hierarchical wall-clock trace spans with a Chrome trace_event JSON
+// exporter (chrome://tracing / Perfetto "complete event" format).
+//
+// Shape follows Themis's Tracer::startSpan: a Span is an RAII stopwatch
+// created from a Tracer, optionally annotated with attributes, and
+// recorded as one complete event when it ends. Hierarchy is implicit:
+// events carry the recording thread's worker id as their tid, and the
+// Chrome viewer nests same-tid events by time containment — a span
+// opened inside another span on the same thread renders as its child.
+//
+// Concurrency. Completed events append to per-worker shards. Each shard
+// is guarded by its own mutex, which is uncontended by construction
+// (only the owning worker appends to it; the snapshot walks all shards)
+// — spans are coarse (a task, a phase, a query), so one uncontended
+// lock per span end is noise. As with metrics, the process-global
+// tracer pointer defaults to null and every instrumentation site
+// reduces to a load-and-branch when tracing is off.
+
+#ifndef GMARK_OBS_TRACE_H_
+#define GMARK_OBS_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gmark {
+
+class Tracer;
+
+/// \brief One completed span, in Chrome trace_event "X" (complete
+/// event) terms. Timestamps are nanoseconds relative to the tracer's
+/// epoch; the exporter converts to microseconds.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  int64_t ts_nanos = 0;
+  int64_t dur_nanos = 0;
+  int tid = 0;  // ThreadPool::CurrentWorkerId() at End()
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// \brief RAII span handle. A default-constructed Span (or one from a
+/// null tracer) is a no-op: every method is safe and does nothing.
+class Span {
+ public:
+  Span() = default;
+  Span(Tracer* tracer, std::string name, std::string category);
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept {
+    End();
+    tracer_ = other.tracer_;
+    event_ = std::move(other.event_);
+    other.tracer_ = nullptr;
+    return *this;
+  }
+
+  ~Span() { End(); }
+
+  /// \brief Attach a key/value annotation (exported under "args").
+  void SetAttribute(const std::string& key, const std::string& value);
+  void SetAttribute(const std::string& key, int64_t value);
+
+  /// \brief Record the span now. Idempotent; the destructor calls it.
+  void End();
+
+  bool active() const { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  TraceEvent event_;
+};
+
+/// \brief Collects spans from all threads; exports Chrome trace JSON.
+class Tracer {
+ public:
+  /// \brief `shard_count` 0 means one shard per default pool worker
+  /// plus one for non-pool threads.
+  explicit Tracer(size_t shard_count = 0);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// \brief Open a span; it records itself when it ends (RAII).
+  Span StartSpan(std::string name, std::string category = "");
+
+  /// \brief Append an already-complete event. The seam the golden tests
+  /// use to pin the exporter with fixed timestamps; instrumented code
+  /// uses StartSpan.
+  void AddCompleteEvent(TraceEvent event);
+
+  /// \brief All recorded events, merged in worker-shard order and
+  /// sorted by (ts, tid, name) — deterministic for a fixed event set.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// \brief Chrome trace_event JSON ("traceEvents" array of "X"
+  /// events; ts/dur in microseconds). Loads in chrome://tracing and
+  /// Perfetto.
+  Status WriteChromeTrace(std::ostream& os) const;
+
+  /// \brief WallTimer::Now() at construction — the ts origin.
+  int64_t epoch_nanos() const { return epoch_nanos_; }
+
+  size_t event_count() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+  };
+
+  int64_t epoch_nanos_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// \brief Process-global tracer (default nullptr = tracing disabled).
+Tracer* GlobalTracer();
+void SetGlobalTracer(Tracer* tracer);
+
+/// \brief Span on the global tracer, or a no-op span when tracing is
+/// off — the one-liner instrumentation sites use.
+inline Span TraceSpan(std::string name, std::string category = "") {
+  Tracer* tracer = GlobalTracer();
+  if (tracer == nullptr) return Span();
+  return tracer->StartSpan(std::move(name), std::move(category));
+}
+
+/// \brief RAII installer for GlobalTracer (tests, CLI, benches).
+class ScopedGlobalTracer {
+ public:
+  explicit ScopedGlobalTracer(Tracer* tracer) : previous_(GlobalTracer()) {
+    SetGlobalTracer(tracer);
+  }
+  ~ScopedGlobalTracer() { SetGlobalTracer(previous_); }
+  ScopedGlobalTracer(const ScopedGlobalTracer&) = delete;
+  ScopedGlobalTracer& operator=(const ScopedGlobalTracer&) = delete;
+
+ private:
+  Tracer* previous_;
+};
+
+}  // namespace gmark
+
+#endif  // GMARK_OBS_TRACE_H_

@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/executor.h"
 #include "parallel/shard_store.h"
 #include "parallel/sharded_sink.h"
@@ -336,7 +338,9 @@ Result<Graph> ParallelGenerateGraph(const GraphConfiguration& config,
                                     const GeneratorOptions& options,
                                     GenerateStats* stats) {
   WallTimer timer;
+  Span layout_span = TraceSpan("gen.layout", "gen");
   GMARK_ASSIGN_OR_RETURN(NodeLayout layout, NodeLayout::Create(config));
+  layout_span.End();
   const double layout_seconds = timer.ElapsedSeconds();
 
   std::unique_ptr<ShardStore> store;
@@ -344,10 +348,13 @@ Result<Graph> ParallelGenerateGraph(const GraphConfiguration& config,
   Executor executor(options.num_threads);
   ShardPlan plan;
   timer.Restart();
-  GMARK_RETURN_NOT_OK(GenerateShards(config, layout, options, &executor,
-                                     AutoSpillFactory(options, &store,
-                                                      &spilled),
-                                     &plan));
+  {
+    Span generate_span = TraceSpan("gen.generate", "gen");
+    GMARK_RETURN_NOT_OK(GenerateShards(config, layout, options, &executor,
+                                       AutoSpillFactory(options, &store,
+                                                        &spilled),
+                                       &plan));
+  }
   const double generate_seconds = timer.ElapsedSeconds();
 
   // Shard-native indexing: flatten each predicate's static shard ranges
@@ -421,7 +428,9 @@ Result<Graph> ParallelGenerateGraph(const GraphConfiguration& config,
     builder.SetChunkedStream(p, std::move(spec));
   }
   Graph::Builder::BuildStats build_stats;
+  Span index_span = TraceSpan("gen.index", "gen");
   Result<Graph> graph = std::move(builder).Build(&executor, &build_stats);
+  index_span.End();
   if (stats != nullptr) {
     stats->index_seconds = timer.ElapsedSeconds();
     stats->layout_seconds = layout_seconds;
@@ -431,6 +440,7 @@ Result<Graph> ParallelGenerateGraph(const GraphConfiguration& config,
     stats->spilled = spilled;
     stats->index_forward_groups = build_stats.forward_groups;
     stats->index_transpose_groups = build_stats.transpose_groups;
+    stats->Record(GlobalMetrics());
   }
   return graph;
 }

@@ -4,11 +4,17 @@
 
 namespace gmark {
 
+namespace {
+// 0 for threads that are not pool workers (main thread, inline
+// executors); workers overwrite it with their 1-based id on startup.
+thread_local int tls_worker_id = 0;
+}  // namespace
+
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads < 1) num_threads = 1;
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i + 1); });
   }
 }
 
@@ -35,7 +41,8 @@ void ThreadPool::Wait() {
   idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker_id) {
+  tls_worker_id = worker_id;
   for (;;) {
     std::function<void()> task;
     {
@@ -57,5 +64,7 @@ int ThreadPool::DefaultThreads() {
   unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
+
+int ThreadPool::CurrentWorkerId() { return tls_worker_id; }
 
 }  // namespace gmark

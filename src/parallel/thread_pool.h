@@ -44,8 +44,15 @@ class ThreadPool {
   /// \brief std::thread::hardware_concurrency with a floor of 1.
   static int DefaultThreads();
 
+  /// \brief Dense id of the calling thread: pool workers are numbered
+  /// 1..size() for the lifetime of their pool; every other thread
+  /// (including the main thread and inline executors) reads 0. The
+  /// observability layer keys its per-worker metric/trace shards on
+  /// this, so hot-path updates never share a cell across threads.
+  static int CurrentWorkerId();
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(int worker_id);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

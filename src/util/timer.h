@@ -1,9 +1,12 @@
-// Wall-clock timing used by the benchmark harnesses.
+// Wall-clock timing used by the benchmark harnesses and the
+// observability layer (obs/trace.h). One steady clock for everything,
+// so span timestamps, bench rows, and budget deadlines are comparable.
 
 #ifndef GMARK_UTIL_TIMER_H_
 #define GMARK_UTIL_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace gmark {
 
@@ -12,20 +15,32 @@ class WallTimer {
  public:
   WallTimer() { Restart(); }
 
+  /// \brief Nanoseconds on the shared steady clock (arbitrary but
+  /// process-consistent origin). The single timestamp source of the
+  /// trace layer; also the base of every Elapsed* reading.
+  static int64_t Now() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
   /// \brief Reset the origin to now.
-  void Restart() { start_ = std::chrono::steady_clock::now(); }
+  void Restart() { start_ = Now(); }
+
+  /// \brief Nanoseconds elapsed since construction or the last
+  /// Restart().
+  int64_t ElapsedNanos() const { return Now() - start_; }
 
   /// \brief Seconds elapsed since construction or the last Restart().
   double ElapsedSeconds() const {
-    auto d = std::chrono::steady_clock::now() - start_;
-    return std::chrono::duration<double>(d).count();
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
   }
 
   /// \brief Milliseconds elapsed since construction or the last Restart().
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
-  std::chrono::steady_clock::time_point start_;
+  int64_t start_;
 };
 
 }  // namespace gmark

@@ -15,8 +15,12 @@ class StubEngine : public QueryEngine {
   EngineKind kind() const override { return EngineKind::kDatalog; }
   std::string description() const override { return "stub"; }
   Result<uint64_t> Evaluate(const Graph&, const Query&,
-                            const ResourceBudget&) const override {
+                            const ResourceBudget&,
+                            EvalContext* ctx) const override {
     ++calls_;
+    if (ctx != nullptr && ctx->profile != nullptr) {
+      ctx->profile->peak_tuples = 7;
+    }
     if (fail_) return Status::ResourceExhausted("stub failure");
     return static_cast<uint64_t>(42);
   }
@@ -81,6 +85,34 @@ TEST_F(RunnerTest, DegenerateTrimFallsBackToAll) {
                                   ResourceBudget::Unlimited(), protocol);
   EXPECT_TRUE(result.ok());
   EXPECT_GE(result.seconds, 0.0);
+}
+
+TEST_F(RunnerTest, ProfileRidesTheColdRun) {
+  StubEngine engine;
+  TimingResult result =
+      TimeQuery(engine, graph_, query_, ResourceBudget::Unlimited());
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.profile.peak_tuples, 7u);
+}
+
+TEST_F(RunnerTest, ProfileFilledOnFailureToo) {
+  StubEngine engine(/*fail=*/true);
+  TimingResult result =
+      TimeQuery(engine, graph_, query_, ResourceBudget::Unlimited());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.profile.peak_tuples, 7u);
+}
+
+TEST_F(RunnerTest, ProfileRidesFirstWarmRunWhenColdDisabled) {
+  StubEngine engine;
+  TimingProtocol protocol;
+  protocol.cold_run = false;
+  protocol.warm_runs = 2;
+  protocol.trim_each_side = 0;
+  TimingResult result = TimeQuery(engine, graph_, query_,
+                                  ResourceBudget::Unlimited(), protocol);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.profile.peak_tuples, 7u);
 }
 
 TEST_F(RunnerTest, ToCellFormatsSeconds) {

@@ -1,0 +1,219 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace gmark {
+namespace {
+
+std::string ReadGolden(const std::string& relative) {
+  std::ifstream in(std::string(GMARK_TEST_SRCDIR) + "/" + relative);
+  EXPECT_TRUE(in.good()) << "missing golden file " << relative;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+uint64_t CounterValue(const MetricsSnapshot& snap, const std::string& name) {
+  for (const auto& [n, v] : snap.counters) {
+    if (n == name) return v;
+  }
+  ADD_FAILURE() << "counter " << name << " not in snapshot";
+  return 0;
+}
+
+uint64_t GaugeValue(const MetricsSnapshot& snap, const std::string& name) {
+  for (const auto& [n, v] : snap.gauges) {
+    if (n == name) return v;
+  }
+  ADD_FAILURE() << "gauge " << name << " not in snapshot";
+  return 0;
+}
+
+const HistogramSnapshot* FindHistogram(const MetricsSnapshot& snap,
+                                       const std::string& name) {
+  for (const HistogramSnapshot& h : snap.histograms) {
+    if (h.name == name) return &h;
+  }
+  ADD_FAILURE() << "histogram " << name << " not in snapshot";
+  return nullptr;
+}
+
+TEST(MetricsTest, BucketBoundaries) {
+  // Bucket 0 holds only zeros; bucket i >= 1 covers [2^(i-1), 2^i).
+  EXPECT_EQ(MetricRegistry::BucketIndex(0), 0u);
+  EXPECT_EQ(MetricRegistry::BucketIndex(1), 1u);
+  EXPECT_EQ(MetricRegistry::BucketIndex(2), 2u);
+  EXPECT_EQ(MetricRegistry::BucketIndex(3), 2u);
+  EXPECT_EQ(MetricRegistry::BucketIndex(4), 3u);
+  EXPECT_EQ(MetricRegistry::BucketIndex(7), 3u);
+  EXPECT_EQ(MetricRegistry::BucketIndex(8), 4u);
+  EXPECT_EQ(MetricRegistry::BucketIndex(1023), 10u);
+  EXPECT_EQ(MetricRegistry::BucketIndex(1024), 11u);
+  EXPECT_EQ(MetricRegistry::BucketIndex(~uint64_t{0}), 64u);
+
+  EXPECT_EQ(MetricRegistry::BucketLowerBound(0), 0u);
+  EXPECT_EQ(MetricRegistry::BucketLowerBound(1), 1u);
+  EXPECT_EQ(MetricRegistry::BucketUpperBound(0), 1u);
+  EXPECT_EQ(MetricRegistry::BucketUpperBound(64), ~uint64_t{0});
+  // Every representable value must land in the bucket whose bounds
+  // bracket it, at both edges of every bucket.
+  for (size_t i = 1; i < MetricRegistry::kHistogramBuckets - 1; ++i) {
+    const uint64_t lo = MetricRegistry::BucketLowerBound(i);
+    const uint64_t hi = MetricRegistry::BucketUpperBound(i);
+    EXPECT_EQ(MetricRegistry::BucketIndex(lo), i) << "bucket " << i;
+    EXPECT_EQ(MetricRegistry::BucketIndex(hi - 1), i) << "bucket " << i;
+    EXPECT_EQ(MetricRegistry::BucketIndex(hi), i + 1) << "bucket " << i;
+  }
+}
+
+TEST(MetricsTest, RegistrationIsIdempotent) {
+  MetricRegistry registry(2);
+  const auto c = registry.Counter("hits");
+  EXPECT_EQ(registry.Counter("hits"), c);
+  const auto g = registry.Gauge("peak");
+  EXPECT_EQ(registry.Gauge("peak"), g);
+  const auto h = registry.Histogram("lat");
+  EXPECT_EQ(registry.Histogram("lat"), h);
+  // Names are unique across kinds (re-registering one under another
+  // kind debug-asserts); distinct names get distinct ids.
+  EXPECT_NE(registry.Counter("hits"), registry.Counter("misses"));
+  EXPECT_NE(registry.Gauge("peak"), registry.Gauge("valley"));
+}
+
+TEST(MetricsTest, CounterGaugeHistogramSemantics) {
+  MetricRegistry registry(2);
+  const auto c = registry.Counter("edges");
+  registry.Add(c);
+  registry.Add(c, 9);
+  const auto g = registry.Gauge("peak");
+  registry.GaugeMax(g, 100);
+  registry.GaugeMax(g, 40);  // lower value must not stick
+  registry.GaugeMax(g, 250);
+  const auto h = registry.Histogram("lat");
+  for (uint64_t v : {0, 1, 3, 1024}) registry.Observe(h, v);
+
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(CounterValue(snap, "edges"), 10u);
+  EXPECT_EQ(GaugeValue(snap, "peak"), 250u);
+  const HistogramSnapshot* hist = FindHistogram(snap, "lat");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 4u);
+  EXPECT_EQ(hist->sum, 1028u);
+  EXPECT_DOUBLE_EQ(hist->Mean(), 257.0);
+  EXPECT_EQ(hist->buckets[0], 1u);
+  EXPECT_EQ(hist->buckets[1], 1u);
+  EXPECT_EQ(hist->buckets[2], 1u);
+  EXPECT_EQ(hist->buckets[11], 1u);
+}
+
+TEST(MetricsTest, QuantileBound) {
+  MetricRegistry registry(1);
+  const auto h = registry.Histogram("q");
+  // 100 samples of 1 and one sample of 1 000 000.
+  for (int i = 0; i < 100; ++i) registry.Observe(h, 1);
+  registry.Observe(h, 1000000);
+  MetricsSnapshot snap = registry.Snapshot();
+  const HistogramSnapshot* hist = FindHistogram(snap, "q");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->QuantileBound(0.0), 1u);
+  EXPECT_EQ(hist->QuantileBound(0.5), 1u);
+  // The outlier lives in bucket 20 ([2^19, 2^20)); the p100 bound is
+  // that bucket's inclusive upper edge.
+  EXPECT_EQ(hist->QuantileBound(1.0),
+            MetricRegistry::BucketUpperBound(20) - 1);
+}
+
+// The TSan target: hammer one registry from every pool worker plus the
+// main thread and require exact totals. Worker shards make the hot
+// path race-free by construction; this test is compiled into the
+// thread-sanitizer CI job to prove it.
+TEST(MetricsTest, ConcurrentUpdatesFromPoolWorkersSumExactly) {
+  constexpr int kThreads = 4;
+  constexpr int kTasks = 64;
+  constexpr int kIncrementsPerTask = 1000;
+  MetricRegistry registry;  // default shards: pool workers + others
+  const auto c = registry.Counter("concurrent.hits");
+  const auto g = registry.Gauge("concurrent.peak");
+  const auto h = registry.Histogram("concurrent.lat");
+  {
+    ThreadPool pool(kThreads);
+    for (int t = 0; t < kTasks; ++t) {
+      pool.Submit([&registry, c, g, h, t] {
+        for (int i = 0; i < kIncrementsPerTask; ++i) {
+          registry.Add(c);
+          registry.Observe(h, static_cast<uint64_t>(i));
+        }
+        registry.GaugeMax(g, static_cast<uint64_t>(t));
+      });
+    }
+    pool.Wait();
+  }
+  registry.Add(c, 5);  // main thread shard merges too
+
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(CounterValue(snap, "concurrent.hits"),
+            static_cast<uint64_t>(kTasks) * kIncrementsPerTask + 5);
+  EXPECT_EQ(GaugeValue(snap, "concurrent.peak"),
+            static_cast<uint64_t>(kTasks - 1));
+  const HistogramSnapshot* hist = FindHistogram(snap, "concurrent.lat");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, static_cast<uint64_t>(kTasks) * kIncrementsPerTask);
+}
+
+TEST(MetricsTest, GoldenJsonSnapshot) {
+  MetricRegistry registry(2);
+  // Registration order deliberately differs from the sorted export
+  // order to pin the sort.
+  registry.Add(registry.Counter("query.failures"), 2);
+  registry.Add(registry.Counter("gen.total_edges"), 12345);
+  registry.GaugeMax(registry.Gauge("peak_bytes"), 4096);
+  const auto h = registry.Histogram("latency_nanos");
+  for (uint64_t v : {0, 1, 3, 1024}) registry.Observe(h, v);
+  EXPECT_EQ(registry.Snapshot().ToJson(),
+            ReadGolden("obs/golden/metrics_snapshot.json"));
+}
+
+TEST(MetricsTest, EmptySectionsRenderEmptyObjects) {
+  MetricRegistry registry(1);
+  EXPECT_EQ(registry.Snapshot().ToJson(),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n"
+            "  \"histograms\": {}\n}\n");
+}
+
+TEST(MetricsTest, ToTableListsEveryMetric) {
+  MetricRegistry registry(1);
+  registry.Add(registry.Counter("gen.index_nanos"), 1500000000);
+  registry.Observe(registry.Histogram("lat"), 8);
+  const std::string table = registry.Snapshot().ToTable();
+  EXPECT_NE(table.find("gen.index_nanos"), std::string::npos);
+  EXPECT_NE(table.find("1.500s"), std::string::npos);  // *_nanos annotation
+  EXPECT_NE(table.find("lat"), std::string::npos);
+  EXPECT_NE(table.find("count=1"), std::string::npos);
+}
+
+TEST(MetricsTest, GlobalRegistryDefaultsOffAndScopesRestore) {
+  EXPECT_EQ(GlobalMetrics(), nullptr);
+  {
+    MetricRegistry outer(1);
+    ScopedGlobalMetrics scoped_outer(&outer);
+    EXPECT_EQ(GlobalMetrics(), &outer);
+    {
+      MetricRegistry inner(1);
+      ScopedGlobalMetrics scoped_inner(&inner);
+      EXPECT_EQ(GlobalMetrics(), &inner);
+    }
+    EXPECT_EQ(GlobalMetrics(), &outer);
+  }
+  EXPECT_EQ(GlobalMetrics(), nullptr);
+}
+
+}  // namespace
+}  // namespace gmark

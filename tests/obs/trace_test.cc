@@ -1,0 +1,124 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace gmark {
+namespace {
+
+std::string ReadGolden(const std::string& relative) {
+  std::ifstream in(std::string(GMARK_TEST_SRCDIR) + "/" + relative);
+  EXPECT_TRUE(in.good()) << "missing golden file " << relative;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(TraceTest, SpanRecordsCompleteEvent) {
+  Tracer tracer(2);
+  {
+    Span span = tracer.StartSpan("work", "unit");
+    span.SetAttribute("k", "v");
+    span.SetAttribute("n", static_cast<int64_t>(7));
+  }  // End() via destructor
+  std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "work");
+  EXPECT_EQ(events[0].category, "unit");
+  EXPECT_GE(events[0].ts_nanos, 0);
+  EXPECT_GE(events[0].dur_nanos, 0);
+  EXPECT_EQ(events[0].tid, 0);  // main thread
+  ASSERT_EQ(events[0].args.size(), 2u);
+  EXPECT_EQ(events[0].args[0].first, "k");
+  EXPECT_EQ(events[0].args[0].second, "v");
+  EXPECT_EQ(events[0].args[1].second, "7");
+}
+
+TEST(TraceTest, EndIsIdempotentAndNoopSpansAreSafe) {
+  Tracer tracer(2);
+  Span span = tracer.StartSpan("once");
+  span.End();
+  span.End();
+  EXPECT_EQ(tracer.event_count(), 1u);
+
+  Span noop;  // default-constructed: every method is a safe no-op
+  noop.SetAttribute("k", "v");
+  noop.End();
+  EXPECT_FALSE(noop.active());
+}
+
+TEST(TraceTest, PoolWorkerSpansCarryWorkerTid) {
+  Tracer tracer;
+  {
+    ThreadPool pool(2);
+    for (int t = 0; t < 8; ++t) {
+      pool.Submit([&tracer] {
+        Span span = tracer.StartSpan("task", "pool");
+      });
+    }
+    pool.Wait();
+  }
+  std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (const TraceEvent& e : events) {
+    EXPECT_GE(e.tid, 1);  // workers are numbered 1..size()
+    EXPECT_LE(e.tid, 2);
+  }
+}
+
+TEST(TraceTest, SnapshotSortsByTimestampThenTidThenName) {
+  Tracer tracer(2);
+  tracer.AddCompleteEvent({"b", "", 200, 10, 0, {}});
+  tracer.AddCompleteEvent({"a", "", 100, 10, 1, {}});
+  tracer.AddCompleteEvent({"a", "", 200, 10, 0, {}});
+  tracer.AddCompleteEvent({"c", "", 100, 10, 0, {}});
+  std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].name, "c");  // ts 100 tid 0
+  EXPECT_EQ(events[1].name, "a");  // ts 100 tid 1
+  EXPECT_EQ(events[2].name, "a");  // ts 200 tid 0 name a
+  EXPECT_EQ(events[3].name, "b");  // ts 200 tid 0 name b
+}
+
+TEST(TraceTest, GoldenChromeTrace) {
+  Tracer tracer(2);
+  // Fixed timestamps through the AddCompleteEvent seam; insertion order
+  // deliberately differs from timestamp order to pin the export sort.
+  tracer.AddCompleteEvent(
+      {"query.time", "", 3000000, 1000, 0, {{"engine", "S"}, {"idx", "2"}}});
+  tracer.AddCompleteEvent({"gen.generate", "gen", 1000, 2500000, 0, {}});
+  tracer.AddCompleteEvent(
+      {"csr.count", "build", 1500000, 250500, 1, {{"predicate", "3"}}});
+  std::ostringstream os;
+  ASSERT_TRUE(tracer.WriteChromeTrace(os).ok());
+  EXPECT_EQ(os.str(), ReadGolden("obs/golden/trace_snapshot.json"));
+}
+
+TEST(TraceTest, EmptyTracerWritesValidSkeleton) {
+  Tracer tracer(1);
+  std::ostringstream os;
+  ASSERT_TRUE(tracer.WriteChromeTrace(os).ok());
+  EXPECT_EQ(os.str(), "{\"traceEvents\": [], \"displayTimeUnit\": \"ms\"}\n");
+}
+
+TEST(TraceTest, GlobalTracerDefaultsOffAndScopesRestore) {
+  EXPECT_EQ(GlobalTracer(), nullptr);
+  EXPECT_FALSE(TraceSpan("noop").active());  // disabled path: no-op span
+  {
+    Tracer tracer(1);
+    ScopedGlobalTracer scoped(&tracer);
+    EXPECT_EQ(GlobalTracer(), &tracer);
+    { Span span = TraceSpan("on", "test"); }
+    EXPECT_EQ(tracer.event_count(), 1u);
+  }
+  EXPECT_EQ(GlobalTracer(), nullptr);
+}
+
+}  // namespace
+}  // namespace gmark
