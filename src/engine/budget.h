@@ -30,6 +30,16 @@ struct ResourceBudget {
 };
 
 /// \brief Tracks consumption against a budget during one evaluation.
+///
+/// SAFETY: single-writer by contract — one BudgetTracker belongs to
+/// exactly one query evaluation, and today every engine evaluates on
+/// one thread, so the plain-integer counters need no synchronization.
+/// The planned frontier-parallel evaluator and concurrent query server
+/// make this multi-writer; the migration plan (per ROADMAP) is
+/// per-worker counters folded into one atomic budget, NOT sprinkling
+/// atomics on these fields — until that lands, handing the same
+/// tracker to two threads is a contract violation the TSan job will
+/// catch.
 class BudgetTracker {
  public:
   explicit BudgetTracker(const ResourceBudget& budget) : budget_(budget) {}
@@ -126,6 +136,10 @@ class PeriodicTimeCheck {
   }
 
  private:
+  // SAFETY: same single-writer contract as the BudgetTracker it wraps
+  // — one PeriodicTimeCheck per evaluation thread. A shared countdown
+  // would race under the future parallel evaluator; each worker gets
+  // its own checker over per-worker counters instead.
   BudgetTracker* budget_;
   uint32_t period_;
   uint32_t countdown_;

@@ -139,7 +139,7 @@ MetricRegistry::MetricRegistry(size_t shard_count) {
 
 MetricRegistry::MetricId MetricRegistry::Register(const std::string& name,
                                                   Kind kind) {
-  std::lock_guard<std::mutex> lock(reg_mu_);
+  MutexLock lock(reg_mu_);
   auto it = by_name_.find(name);
   if (it != by_name_.end()) {
     const Def& existing = defs_[it->second];
@@ -207,7 +207,7 @@ void MetricRegistry::Observe(MetricId id, uint64_t value) {
 MetricsSnapshot MetricRegistry::Snapshot() const {
   std::vector<Def> defs;
   {
-    std::lock_guard<std::mutex> lock(reg_mu_);
+    MutexLock lock(reg_mu_);
     defs = defs_;
   }
   MetricsSnapshot snap;
@@ -252,6 +252,9 @@ size_t MetricRegistry::BucketIndex(uint64_t value) {
 
 uint64_t MetricRegistry::BucketLowerBound(size_t i) {
   if (i == 0) return 0;
+  // Clamp like BucketUpperBound: i beyond the last bucket would shift
+  // by >= 64, which is UB — the UBSan job turns that into an abort.
+  if (i >= kHistogramBuckets) i = kHistogramBuckets - 1;
   return i == 1 ? 1 : (uint64_t{1} << (i - 1));
 }
 

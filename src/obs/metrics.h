@@ -32,10 +32,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace gmark {
 
@@ -102,7 +104,7 @@ class MetricRegistry {
   /// Safe to call concurrently with updates (relaxed reads — a snapshot
   /// taken mid-update sees each cell either before or after); exact
   /// when callers quiesce first (e.g. after Executor::Wait()).
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const EXCLUDES(reg_mu_);
 
   size_t shard_count() const { return shards_.size(); }
 
@@ -148,17 +150,25 @@ class MetricRegistry {
   static uint32_t SlotOf(MetricId id) { return id & 0xffffff; }
   static Kind KindOf(MetricId id) { return static_cast<Kind>(id >> 24); }
 
-  MetricId Register(const std::string& name, Kind kind);
+  MetricId Register(const std::string& name, Kind kind) EXCLUDES(reg_mu_);
   Shard& LocalShard();
 
-  mutable std::mutex reg_mu_;
-  std::vector<Def> defs_;
+  mutable Mutex reg_mu_;
+  std::vector<Def> defs_ GUARDED_BY(reg_mu_);
   // Metric names are unique across kinds (debug-asserted): the value
   // is an index into defs_, from which the encoded id is rebuilt.
-  std::unordered_map<std::string, size_t> by_name_;
+  std::unordered_map<std::string, size_t> by_name_ GUARDED_BY(reg_mu_);
+  // SAFETY: shards_ (the vector and each shard's cell vectors) is
+  // sized once in the constructor and never resized, so cell addresses
+  // are stable for the registry's lifetime; all post-construction
+  // access is through the std::atomic cells with relaxed ordering.
+  // Register hands out only slots whose cells already exist (capacity
+  // is fixed at kMaxScalars/kMaxHistograms), so updates never race a
+  // reallocation — the invariant reg_mu_ cannot express and the one
+  // the TSan job exercises.
   std::vector<Shard> shards_;
-  uint32_t scalar_slots_ = 0;
-  uint32_t histogram_slots_ = 0;
+  uint32_t scalar_slots_ GUARDED_BY(reg_mu_) = 0;
+  uint32_t histogram_slots_ GUARDED_BY(reg_mu_) = 0;
 };
 
 /// \brief Process-global registry used by instrumented code paths.

@@ -73,14 +73,14 @@ Span Tracer::StartSpan(std::string name, std::string category) {
 void Tracer::AddCompleteEvent(TraceEvent event) {
   const size_t id = static_cast<size_t>(ThreadPool::CurrentWorkerId());
   Shard& shard = *shards_[id % shards_.size()];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   shard.events.push_back(std::move(event));
 }
 
 std::vector<TraceEvent> Tracer::Snapshot() const {
   std::vector<TraceEvent> events;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     events.insert(events.end(), shard->events.begin(), shard->events.end());
   }
   std::sort(events.begin(), events.end(),
@@ -95,7 +95,7 @@ std::vector<TraceEvent> Tracer::Snapshot() const {
 size_t Tracer::event_count() const {
   size_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     n += shard->events.size();
   }
   return n;

@@ -21,13 +21,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace gmark {
 
@@ -113,11 +114,16 @@ class Tracer {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::vector<TraceEvent> events;
+    mutable Mutex mu;
+    std::vector<TraceEvent> events GUARDED_BY(mu);
   };
 
   int64_t epoch_nanos_;
+  // SAFETY: the shard table itself is built once in the constructor
+  // and never resized; routing (worker id modulo shard count) reads
+  // only the immutable size, and all event access goes through each
+  // shard's own mu. Per-shard locking is uncontended by construction —
+  // only the owning worker appends; Snapshot walks every shard.
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

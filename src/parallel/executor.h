@@ -51,6 +51,10 @@ class Executor {
   int workers() const { return pool_.has_value() ? pool_->size() : 1; }
 
  private:
+  // SAFETY: set once in the constructor, never reseated — Submit/Wait
+  // only ever read the optional's engagement flag, so the Executor is
+  // safe to share by reference across the tasks it runs (ThreadPool
+  // itself synchronizes the queue).
   std::optional<ThreadPool> pool_;
 };
 

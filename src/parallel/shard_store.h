@@ -38,6 +38,16 @@ namespace gmark {
 /// read-only replay and may run concurrently from several threads (any
 /// ranges); ReleaseRange frees shard storage and may run concurrently
 /// for DISJOINT ranges — no Visit of a released shard afterwards.
+///
+/// SAFETY: this phase discipline (Reset → concurrent single-writer
+/// PutShard → Wait+Finish → concurrent read-only VisitRange /
+/// disjoint ReleaseRange) IS the synchronization contract of every
+/// implementation; the happens-before edges come from task
+/// publication (Executor::Submit) and completion (Executor::Wait),
+/// never from locks inside the store. Capability annotations cannot
+/// express "at most one writer per index, phase-ordered", so
+/// implementations document it with SAFETY contracts at each member
+/// and the CI TSan job enforces it dynamically.
 class ShardStore {
  public:
   /// \brief Receives contiguous blocks of a shard's edges during a

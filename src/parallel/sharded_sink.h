@@ -39,6 +39,14 @@ class ShardedSink : public ShardStore {
 
   /// \brief Take ownership of shard `index`'s buffer. Distinct indices
   /// may be written concurrently; one index only by one task.
+  ///
+  /// SAFETY: lock-free single-writer. shards_ is sized by Reset before
+  /// any task runs (the Submit that publishes the task is the release
+  /// barrier), each index is written by exactly one task, and distinct
+  /// indices are distinct vector elements — no two threads ever touch
+  /// the same std::vector<Edge>. Readers (VisitRange/TakeEdges) run
+  /// only after Executor::Wait + Finish, which order every write
+  /// before every read.
   void PutShard(size_t index, std::vector<Edge> edges) override {
     shards_[index] = std::move(edges);
   }
@@ -80,6 +88,11 @@ class ShardedSink : public ShardStore {
   std::vector<Edge> TakeEdges();
 
  private:
+  // SAFETY: the outer vector is resized only by Reset (before tasks);
+  // during emission each element has exactly one writing task (see
+  // PutShard); during indexing ReleaseRange frees only disjoint
+  // ranges. No mutex guards this on purpose — the phase discipline is
+  // the synchronization, and the TSan job checks it.
   std::vector<std::vector<Edge>> shards_;
   /// Edges whose buffers ReleaseRange already freed; atomic because
   /// per-predicate build tasks release their ranges concurrently.

@@ -92,6 +92,12 @@ class SpillSink : public ShardStore {
   const std::filesystem::path& run_dir() const { return run_dir_; }
 
  private:
+  // SAFETY: one Shard slot per canonical index, written only by that
+  // shard's single PutShard task (count + deferred error status);
+  // sized by Reset before tasks run, read after Finish. Same
+  // phase-discipline contract as ShardedSink::shards_ — the file
+  // system side is safe for the same reason (one file per shard,
+  // named by index; ReleaseRange unlinks only disjoint ranges).
   struct Shard {
     size_t edge_count = 0;
     Status status;
@@ -108,6 +114,10 @@ class SpillSink : public ShardStore {
   Options options_;
   std::filesystem::path run_dir_;
   std::vector<Shard> shards_;
+  // SAFETY: relaxed atomics — the resident/peak byte counters are
+  // advisory accounting folded from concurrent PutShard/VisitRange
+  // buffers; relaxed ordering is enough because no control flow
+  // depends on them and the final values are read after quiescence.
   mutable std::atomic<size_t> resident_bytes_{0};
   mutable std::atomic<size_t> peak_resident_bytes_{0};
 };

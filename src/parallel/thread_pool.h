@@ -9,13 +9,14 @@
 #ifndef GMARK_PARALLEL_THREAD_POOL_H_
 #define GMARK_PARALLEL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace gmark {
 
@@ -34,10 +35,10 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// \brief Enqueue a task. Thread-safe, but see the nesting caveat.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// \brief Block until every submitted task has finished running.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   int size() const { return static_cast<int>(workers_.size()); }
 
@@ -52,15 +53,21 @@ class ThreadPool {
   static int CurrentWorkerId();
 
  private:
-  void WorkerLoop(int worker_id);
+  void WorkerLoop(int worker_id) EXCLUDES(mu_);
 
+  // SAFETY: workers_ is written only by the constructor (before any
+  // worker can observe the pool) and read by the destructor after
+  // stop_ is published under mu_ — never touched from worker threads,
+  // so it needs no guard. size() reads only the vector's length, which
+  // is immutable after construction.
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // signaled when work arrives / stop
-  std::condition_variable idle_cv_;  // signaled when in_flight_ hits 0
-  size_t in_flight_ = 0;             // queued + currently running tasks
-  bool stop_ = false;
+  Mutex mu_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  CondVar work_cv_;  // signaled when work arrives / stop
+  CondVar idle_cv_;  // signaled when in_flight_ hits 0
+  /// Queued + currently running tasks.
+  size_t in_flight_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace gmark

@@ -1,0 +1,93 @@
+// Annotated mutex / scoped-lock / condition-variable wrappers.
+//
+// Thin, zero-overhead shims over std::mutex, std::unique_lock, and
+// std::condition_variable that carry the Clang capability attributes
+// from util/thread_annotations.h. libstdc++'s primitives are not
+// annotated, so the thread-safety analysis cannot track raw
+// std::lock_guard acquisitions; these wrappers make every acquisition
+// visible to `-Wthread-safety` while compiling to exactly the same
+// code (all methods are trivial inline forwards).
+//
+// Usage pattern:
+//   class Queue {
+//     Mutex mu_;
+//     std::deque<int> items_ GUARDED_BY(mu_);
+//   };
+//   ...
+//   MutexLock lock(mu_);        // ACQUIREs mu_ for the scope
+//   while (items_.empty()) cv_.Wait(lock);   // lock held across Wait
+//
+// CondVar::Wait takes the scoped lock by reference; from the analysis'
+// point of view the capability is held continuously across the wait,
+// which matches the caller-visible contract (the lock IS held whenever
+// the predicate is evaluated).
+
+#ifndef GMARK_UTIL_MUTEX_H_
+#define GMARK_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace gmark {
+
+/// \brief std::mutex with capability annotations.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+
+  /// \brief The wrapped mutex, for interop with std wait machinery.
+  /// Callers must not lock/unlock it directly — that would bypass the
+  /// analysis (MutexLock and CondVar are the only intended users).
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// \brief Scoped lock over Mutex (std::unique_lock underneath, so
+/// CondVar can wait on it).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// \brief The underlying unique_lock (CondVar interop only).
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// \brief Condition variable paired with Mutex/MutexLock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// \brief Atomically release the lock, sleep, and reacquire before
+  /// returning. Callers re-check their predicate in a while loop (the
+  /// loop body is analyzed with the capability held, which is true
+  /// whenever the caller's code runs).
+  void Wait(MutexLock& lock) { cv_.wait(lock.native()); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace gmark
+
+#endif  // GMARK_UTIL_MUTEX_H_

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy at the repo root) over the
+# changed C++ files — or the whole of src/ when no git base is
+# available — using the compilation database in the given build dir.
+#
+# Usage: tools/lint/run_clang_tidy.sh [BUILD_DIR] [BASE_REF]
+#   BUILD_DIR  directory holding compile_commands.json (default: build)
+#   BASE_REF   git ref to diff against (default: origin/main, falling
+#              back to main, falling back to full-tree mode)
+#
+# Only .cc translation units are passed to clang-tidy: headers are
+# covered through the TUs that include them, and header-filter in
+# .clang-tidy keeps the diagnostics scoped to src/.
+
+set -u
+
+repo_root="$(cd "$(dirname "$0")/../.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+base_ref="${2:-}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not found; skipping" >&2
+  exit 0
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy: $build_dir/compile_commands.json missing —" \
+       "configure with CMake first (CMAKE_EXPORT_COMPILE_COMMANDS is" \
+       "on by default)" >&2
+  exit 2
+fi
+
+cd "$repo_root"
+
+files=""
+if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  if [ -z "$base_ref" ]; then
+    for candidate in origin/main main; do
+      if git rev-parse --verify --quiet "$candidate" >/dev/null; then
+        base_ref="$candidate"
+        break
+      fi
+    done
+  fi
+  if [ -n "$base_ref" ]; then
+    # Changed + untracked sources, .cc TUs only, still on disk.
+    files="$( (git diff --name-only "$base_ref" -- 'src/*.cc';
+               git ls-files --others --exclude-standard -- 'src/*.cc') \
+              | sort -u | while read -r f; do
+                  [ -f "$f" ] && echo "$f"
+                done)"
+    echo "run_clang_tidy: diffing against $base_ref" >&2
+  fi
+fi
+if [ -z "$files" ]; then
+  echo "run_clang_tidy: no git base — checking all of src/" >&2
+  files="$(find src -name '*.cc' | sort)"
+fi
+if [ -z "$files" ]; then
+  echo "run_clang_tidy: no files to check" >&2
+  exit 0
+fi
+
+count=$(echo "$files" | wc -l)
+echo "run_clang_tidy: $count file(s)" >&2
+status=0
+for f in $files; do
+  clang-tidy -p "$build_dir" --quiet "$f" || status=1
+done
+exit $status

@@ -1,0 +1,5 @@
+// Fixture: clock reads outside src/util/timer.h are banned.
+#include <chrono>
+long Stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,7 @@
+// Fixture: NOLINT-DETERMINISM with no justification is itself a
+// finding.
+#include <random>
+int Draw() {
+  std::mt19937 rng(7);  // NOLINT-DETERMINISM()
+  return static_cast<int>(rng() % 10);
+}

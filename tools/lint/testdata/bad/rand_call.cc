@@ -1,0 +1,6 @@
+// Fixture: C rand() is banned everywhere.
+#include <cstdlib>
+int Draw() {
+  std::srand(42);
+  return std::rand() % 10;
+}

@@ -1,0 +1,6 @@
+// Fixture: entropy sources are banned everywhere.
+#include <random>
+unsigned Entropy() {
+  std::random_device rd;
+  return rd();
+}

@@ -1,0 +1,6 @@
+// Fixture: raw std:: engines outside src/util/random.* are banned.
+#include <random>
+int Draw() {
+  std::mt19937_64 rng(7);
+  return static_cast<int>(rng() % 10);
+}

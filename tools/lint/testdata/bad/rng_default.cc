@@ -1,0 +1,6 @@
+// Fixture: default-seeded RandomEngine hides a missing DeriveSeed.
+#include "util/random.h"
+int Draw() {
+  gmark::RandomEngine rng;
+  return static_cast<int>(rng.UniformInt(0, 9));
+}

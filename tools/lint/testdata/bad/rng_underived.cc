@@ -1,0 +1,7 @@
+// Fixture: a seed that is neither a literal, a *seed* value, nor a
+// DeriveSeed(...) derivation.
+#include "util/random.h"
+int Draw(unsigned long long ticket) {
+  gmark::RandomEngine rng(ticket * 31);
+  return static_cast<int>(rng.UniformInt(0, 9));
+}

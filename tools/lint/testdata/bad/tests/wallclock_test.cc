@@ -1,0 +1,7 @@
+// Fixture: direct clock reads in tests make assertions flaky; use
+// WallTimer (or better, a deterministic counter).
+#include <chrono>
+bool TookUnderASecond(long start_nanos) {
+  auto now = std::chrono::high_resolution_clock::now();
+  return now.time_since_epoch().count() - start_nanos < 1000000000L;
+}

@@ -1,0 +1,8 @@
+// Fixture: iterator walks (begin()) over unordered containers are
+// banned; find()/end() membership checks are not (see good/clean.cc).
+#include <unordered_set>
+int First(const int n) {
+  std::unordered_set<int> seen;
+  for (int i = 0; i < n; ++i) seen.insert(i);
+  return seen.empty() ? 0 : *seen.begin();
+}

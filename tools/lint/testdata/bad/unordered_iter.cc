@@ -1,0 +1,13 @@
+// Fixture: iterating an unordered container in src code is banned.
+#include <string>
+#include <unordered_map>
+#include <vector>
+std::vector<std::string> Keys(int n) {
+  std::unordered_map<std::string, int> index;
+  for (int i = 0; i < n; ++i) index[std::to_string(i)] = i;
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : index) {
+    keys.push_back(key);
+  }
+  return keys;
+}

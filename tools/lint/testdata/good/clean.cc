@@ -1,0 +1,16 @@
+// Fixture: deterministic code the lint must not flag — membership
+// checks against unordered containers (find/end), ordered iteration,
+// and words like "operand(x)" that embed banned tokens.
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+int operand(int x) { return x; }
+bool Seen(const std::unordered_set<int>& seen, int v) {
+  return seen.find(v) != seen.end();
+}
+std::vector<std::string> SortedKeys(const std::map<std::string, int>& m) {
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : m) keys.push_back(key);
+  return keys;
+}

@@ -1,0 +1,7 @@
+// Fixture: a justified NOLINT-DETERMINISM escape suppresses the rule.
+#include <random>
+unsigned MixInAslr() {
+  // NOLINT-DETERMINISM(intentional entropy: salting a temp-dir name, never feeds output)
+  std::random_device rd;
+  return rd();
+}

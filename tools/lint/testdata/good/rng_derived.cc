@@ -1,0 +1,11 @@
+// Fixture: the sanctioned RandomEngine seeding shapes.
+#include "util/random.h"
+int Draw(unsigned long long root, unsigned long long chunk) {
+  gmark::RandomEngine from_derive(gmark::DeriveSeed(root, chunk, 2));
+  gmark::RandomEngine from_literal(12345);
+  unsigned long long config_seed = root;
+  gmark::RandomEngine from_config(config_seed);
+  return static_cast<int>(from_derive.UniformInt(0, 9) +
+                          from_literal.UniformInt(0, 9) +
+                          from_config.UniformInt(0, 9));
+}

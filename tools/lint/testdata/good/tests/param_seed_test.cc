@@ -1,0 +1,7 @@
+// Fixture: tests may seed engines from fixture parameters — those are
+// deterministic inputs, so the seeding-discipline rules skip tests.
+#include "util/random.h"
+int DrawFromParam(int param) {
+  gmark::RandomEngine rng(param);
+  return static_cast<int>(rng.UniformInt(0, 9));
+}

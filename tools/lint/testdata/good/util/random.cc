@@ -1,0 +1,6 @@
+// Fixture: mirrors src/util/random.cc — the allowlisted home of the
+// raw engine.
+#include <random>
+std::mt19937_64 MakeEngine(unsigned long long seed) {
+  return std::mt19937_64(seed);
+}

@@ -1,0 +1,7 @@
+// Fixture: mirrors src/util/timer.h — the allowlisted single clock.
+#include <chrono>
+inline long NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
