@@ -55,7 +55,7 @@ void BM_ChainAsJoins(benchmark::State& state) {
     for (const GeneratedQuery& gq : f.workload.queries) {
       BudgetTracker budget(ResourceBudget::Limited(60.0, 400000000));
       auto rel = eval.EvaluateRuleJoin(gq.query.rules[0], &budget);
-      if (rel.ok()) total += rel->row_count();
+      if (rel.ok()) total += rel->value.row_count();
     }
     benchmark::DoNotOptimize(total);
   }

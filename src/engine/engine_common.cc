@@ -33,18 +33,21 @@ NodePairs SymbolPairs(const Graph& graph, const Symbol& symbol) {
   return pairs;
 }
 
-Result<NodePairs> ComposePathPairs(const Graph& graph, const PathExpr& path,
-                                   bool set_semantics,
-                                   BudgetTracker* budget) {
+Result<ChargedPairs> ComposePathPairs(const Graph& graph,
+                                      const PathExpr& path,
+                                      bool set_semantics,
+                                      BudgetTracker* budget) {
   if (path.empty()) {
     return Status::InvalidArgument("cannot compose an empty path");
   }
   NodePairs current = SymbolPairs(graph, path[0]);
-  GMARK_RETURN_NOT_OK(budget->ChargeTuples(current.size()));
+  TupleCharge charge(budget);
+  GMARK_RETURN_NOT_OK(charge.Charge(current.size()));
   for (size_t i = 1; i < path.size(); ++i) {
     GMARK_RETURN_NOT_OK(budget->CheckTime());
     const Symbol& sym = path[i];
     NodePairs next;
+    TupleCharge next_charge(budget);
     std::unordered_set<uint64_t> seen;
     for (const auto& [x, mid] : current) {
       auto neighbors = sym.inverse
@@ -52,43 +55,51 @@ Result<NodePairs> ComposePathPairs(const Graph& graph, const PathExpr& path,
                            : graph.OutNeighbors(sym.predicate, mid);
       for (NodeId w : neighbors) {
         if (set_semantics && !seen.insert(PackPair(x, w)).second) continue;
-        GMARK_RETURN_NOT_OK(budget->ChargeTuples(1));
+        GMARK_RETURN_NOT_OK(next_charge.Charge(1));
         next.emplace_back(x, w);
       }
     }
-    budget->ReleaseTuples(current.size());
+    // Both step relations are live until here; the move-assign below
+    // releases the step we just consumed only after its successor was
+    // fully charged (the PR 5 lifetime rule).
     current = std::move(next);
+    charge = std::move(next_charge);
   }
-  return current;
+  return ChargedPairs(std::move(current), std::move(charge));
 }
 
-Result<NodePairs> RegexBasePairs(const Graph& graph,
-                                 const RegularExpression& expr,
-                                 bool set_semantics, BudgetTracker* budget) {
+Result<ChargedPairs> RegexBasePairs(const Graph& graph,
+                                    const RegularExpression& expr,
+                                    bool set_semantics,
+                                    BudgetTracker* budget) {
   NodePairs base;
   for (const PathExpr& path : expr.disjuncts) {
     GMARK_ASSIGN_OR_RETURN(
-        NodePairs part, ComposePathPairs(graph, path, set_semantics, budget));
-    base.insert(base.end(), part.begin(), part.end());
-    budget->ReleaseTuples(part.size());
+        ChargedPairs part,
+        ComposePathPairs(graph, path, set_semantics, budget));
+    base.insert(base.end(), part.value.begin(), part.value.end());
+    // part's guard releases its charge here; the accumulating union is
+    // charged once below, after deduplication.
   }
   // UNION (not UNION ALL): disjunction is set-oriented in every dialect.
   DedupPairs(&base);
-  GMARK_RETURN_NOT_OK(budget->ChargeTuples(base.size()));
-  return base;
+  TupleCharge charge(budget);
+  GMARK_RETURN_NOT_OK(charge.Charge(base.size()));
+  return ChargedPairs(std::move(base), std::move(charge));
 }
 
-Result<NodePairs> ClosureNaive(const Graph& graph, const NodePairs& base,
-                               BudgetTracker* budget, uint64_t* rounds) {
+Result<ChargedPairs> ClosureNaive(const Graph& graph, const NodePairs& base,
+                                  BudgetTracker* budget, uint64_t* rounds) {
   const NodeId n = static_cast<NodeId>(graph.num_nodes());
   std::unordered_set<uint64_t> known;
   NodePairs result;
+  TupleCharge charge(budget);
   result.reserve(static_cast<size_t>(n) + base.size());
   for (NodeId v = 0; v < n; ++v) {
     known.insert(PackPair(v, v));
     result.emplace_back(v, v);
   }
-  GMARK_RETURN_NOT_OK(budget->ChargeTuples(result.size()));
+  GMARK_RETURN_NOT_OK(charge.Charge(result.size()));
 
   // Index the base relation by source for the join.
   std::unordered_multimap<NodeId, NodeId> base_by_src;
@@ -107,7 +118,7 @@ Result<NodePairs> ClosureNaive(const Graph& graph, const NodePairs& base,
       auto range = base_by_src.equal_range(mid);
       for (auto it = range.first; it != range.second; ++it) {
         if (known.insert(PackPair(x, it->second)).second) {
-          GMARK_RETURN_NOT_OK(budget->ChargeTuples(1));
+          GMARK_RETURN_NOT_OK(charge.Charge(1));
           additions.emplace_back(x, it->second);
         }
       }
@@ -117,20 +128,23 @@ Result<NodePairs> ClosureNaive(const Graph& graph, const NodePairs& base,
       result.insert(result.end(), additions.begin(), additions.end());
     }
   }
-  return result;
+  return ChargedPairs(std::move(result), std::move(charge));
 }
 
-Result<NodePairs> ClosureSemiNaive(const Graph& graph, const NodePairs& base,
-                                   BudgetTracker* budget, uint64_t* rounds) {
+Result<ChargedPairs> ClosureSemiNaive(const Graph& graph,
+                                      const NodePairs& base,
+                                      BudgetTracker* budget,
+                                      uint64_t* rounds) {
   const NodeId n = static_cast<NodeId>(graph.num_nodes());
   std::unordered_set<uint64_t> known;
   NodePairs result;
+  TupleCharge charge(budget);
   result.reserve(static_cast<size_t>(n) + base.size());
   for (NodeId v = 0; v < n; ++v) {
     known.insert(PackPair(v, v));
     result.emplace_back(v, v);
   }
-  GMARK_RETURN_NOT_OK(budget->ChargeTuples(result.size()));
+  GMARK_RETURN_NOT_OK(charge.Charge(result.size()));
 
   std::unordered_multimap<NodeId, NodeId> base_by_src;
   base_by_src.reserve(base.size());
@@ -140,7 +154,7 @@ Result<NodePairs> ClosureSemiNaive(const Graph& graph, const NodePairs& base,
   NodePairs delta;
   for (const auto& [s, t] : base) {
     if (known.insert(PackPair(s, t)).second) {
-      GMARK_RETURN_NOT_OK(budget->ChargeTuples(1));
+      GMARK_RETURN_NOT_OK(charge.Charge(1));
       delta.emplace_back(s, t);
       result.emplace_back(s, t);
     }
@@ -155,7 +169,7 @@ Result<NodePairs> ClosureSemiNaive(const Graph& graph, const NodePairs& base,
       auto range = base_by_src.equal_range(mid);
       for (auto it = range.first; it != range.second; ++it) {
         if (known.insert(PackPair(x, it->second)).second) {
-          GMARK_RETURN_NOT_OK(budget->ChargeTuples(1));
+          GMARK_RETURN_NOT_OK(charge.Charge(1));
           next_delta.emplace_back(x, it->second);
           result.emplace_back(x, it->second);
         }
@@ -163,7 +177,7 @@ Result<NodePairs> ClosureSemiNaive(const Graph& graph, const NodePairs& base,
     }
     delta = std::move(next_delta);
   }
-  return result;
+  return ChargedPairs(std::move(result), std::move(charge));
 }
 
 }  // namespace gmark

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "engine/budget.h"
+#include "engine/charge.h"
 #include "graph/graph.h"
 #include "query/query.h"
 #include "util/result.h"
@@ -16,6 +17,10 @@
 namespace gmark {
 
 using NodePairs = std::vector<std::pair<NodeId, NodeId>>;
+
+/// \brief A pair vector whose tuples are charged against a
+/// BudgetTracker for exactly the vector's lifetime.
+using ChargedPairs = Charged<NodePairs>;
 
 /// \brief All edges matching one symbol, as (source, target) pairs
 /// (inverse symbols swap the roles).
@@ -25,31 +30,34 @@ NodePairs SymbolPairs(const Graph& graph, const Symbol& symbol);
 /// the first symbol's edge relation and compose stepwise through the
 /// adjacency index. With `set_semantics` each step deduplicates (a
 /// Datalog relation); without, bag semantics mirror a SQL join pipeline.
-Result<NodePairs> ComposePathPairs(const Graph& graph, const PathExpr& path,
-                                   bool set_semantics,
-                                   BudgetTracker* budget);
+Result<ChargedPairs> ComposePathPairs(const Graph& graph,
+                                      const PathExpr& path,
+                                      bool set_semantics,
+                                      BudgetTracker* budget);
 
 /// \brief Union of the disjunct relations of a regular expression
 /// (without applying the star), deduplicated.
-Result<NodePairs> RegexBasePairs(const Graph& graph,
-                                 const RegularExpression& expr,
-                                 bool set_semantics, BudgetTracker* budget);
+Result<ChargedPairs> RegexBasePairs(const Graph& graph,
+                                    const RegularExpression& expr,
+                                    bool set_semantics,
+                                    BudgetTracker* budget);
 
 /// \brief Reflexive-transitive closure by NAIVE iteration: every round
 /// rejoins the whole accumulated relation with the base (the cost
 /// profile of a recursive view evaluated without delta optimization).
 /// `rounds`, when given, receives the number of fixpoint rounds run —
 /// the cost-asymmetry observable the evaluation profiles report.
-Result<NodePairs> ClosureNaive(const Graph& graph, const NodePairs& base,
-                               BudgetTracker* budget,
-                               uint64_t* rounds = nullptr);
+Result<ChargedPairs> ClosureNaive(const Graph& graph, const NodePairs& base,
+                                  BudgetTracker* budget,
+                                  uint64_t* rounds = nullptr);
 
 /// \brief Reflexive-transitive closure by SEMI-NAIVE iteration: only
 /// the delta of the previous round is extended (Datalog-style).
 /// `rounds` as in ClosureNaive.
-Result<NodePairs> ClosureSemiNaive(const Graph& graph, const NodePairs& base,
-                                   BudgetTracker* budget,
-                                   uint64_t* rounds = nullptr);
+Result<ChargedPairs> ClosureSemiNaive(const Graph& graph,
+                                      const NodePairs& base,
+                                      BudgetTracker* budget,
+                                      uint64_t* rounds = nullptr);
 
 }  // namespace gmark
 

@@ -36,39 +36,46 @@ class MaterializingEngine : public QueryEngine {
     BudgetTracker budget(budget_spec);
     EvalProfile* profile = ctx != nullptr ? ctx->profile : nullptr;
     BudgetProfileScope budget_scope(profile, &budget);
+    // Relations and their charges live in parallel vectors until the
+    // union is counted; the guards release on scope exit, before the
+    // profile snapshot (which records the peak, not the balance).
     std::vector<VarRelation> per_rule;
+    std::vector<TupleCharge> per_rule_charges;
     // Profile conjunct numbering is global across rules, in rule order.
     size_t conjunct_index = 0;
     for (const QueryRule& rule : query.rules) {
-      VarRelation acc;
+      ChargedRelation acc;
       bool first = true;
       for (const Conjunct& c : rule.body) {
         WallTimer conjunct_timer;
-        VarRelation rel;
-        size_t staged_pairs = 0;
+        ChargedRelation rel;
         {
           GMARK_ASSIGN_OR_RETURN(
-              NodePairs pairs,
+              ChargedPairs pairs,
               ConjunctPairs(graph, c, &budget, profile, conjunct_index));
-          rel = VarRelation::FromPairs(c.source, c.target, pairs);
           // The relation copy lives alongside the pair vector until
-          // the scope closes: charge it for its lifetime, and release
-          // the pair vector's share only once it is actually freed.
-          // Releasing before the copy was charged under-counted the
-          // live peak ~2x, so the §7 memory-blowup budget under-fired.
-          GMARK_RETURN_NOT_OK(budget.ChargeTuples(rel.row_count()));
-          staged_pairs = pairs.size();
+          // the scope closes: ChargeRelation charges it for its
+          // lifetime, and the pair vector's share releases only when
+          // `pairs` dies at the end of this scope. Releasing before
+          // the copy was charged under-counted the live peak ~2x, so
+          // the §7 memory-blowup budget under-fired (the PR 5 bug).
+          GMARK_ASSIGN_OR_RETURN(
+              rel,
+              ChargeRelation(
+                  VarRelation::FromPairs(c.source, c.target, pairs.value),
+                  &budget));
         }
-        budget.ReleaseTuples(staged_pairs);
-        const size_t conjunct_rows = rel.row_count();
+        const size_t conjunct_rows = rel.value.row_count();
         if (first) {
-          acc = std::move(rel);  // rel's charge transfers to acc.
+          acc = std::move(rel);
           first = false;
         } else {
-          const size_t join_inputs = acc.row_count() + rel.row_count();
-          GMARK_ASSIGN_OR_RETURN(acc, HashJoin(acc, rel, &budget));
-          // Both join inputs die here (rel, and the replaced acc).
-          budget.ReleaseTuples(join_inputs);
+          // Both join inputs stay charged until the join output exists;
+          // the move-assign releases the replaced acc, and rel releases
+          // at the end of the iteration.
+          GMARK_ASSIGN_OR_RETURN(ChargedRelation joined,
+                                 HashJoin(acc.value, rel.value, &budget));
+          acc = std::move(joined);
         }
         if (profile != nullptr) {
           ConjunctProfile& cp = profile->Conjunct(conjunct_index);
@@ -78,23 +85,24 @@ class MaterializingEngine : public QueryEngine {
         ++conjunct_index;
         GMARK_RETURN_NOT_OK(budget.CheckTime());
       }
-      GMARK_ASSIGN_OR_RETURN(VarRelation projected,
-                             ProjectDistinct(acc, rule.head, &budget));
-      budget.ReleaseTuples(acc.row_count());
-      per_rule.push_back(std::move(projected));
+      GMARK_ASSIGN_OR_RETURN(ChargedRelation projected,
+                             ProjectDistinct(acc.value, rule.head, &budget));
+      per_rule.push_back(std::move(projected.value));
+      per_rule_charges.push_back(std::move(projected.charge));
     }
     return CountDistinctUnion(per_rule, &budget);
   }
 
  protected:
-  /// Engine-specific evaluation of one conjunct into a pair relation.
-  /// `profile` may be null; `conjunct_index` is the conjunct's global
-  /// position for per-conjunct statistics (fixpoint rounds).
-  virtual Result<NodePairs> ConjunctPairs(const Graph& graph,
-                                          const Conjunct& conjunct,
-                                          BudgetTracker* budget,
-                                          EvalProfile* profile,
-                                          size_t conjunct_index) const = 0;
+  /// Engine-specific evaluation of one conjunct into a charged pair
+  /// relation. `profile` may be null; `conjunct_index` is the
+  /// conjunct's global position for per-conjunct statistics (fixpoint
+  /// rounds).
+  virtual Result<ChargedPairs> ConjunctPairs(const Graph& graph,
+                                             const Conjunct& conjunct,
+                                             BudgetTracker* budget,
+                                             EvalProfile* profile,
+                                             size_t conjunct_index) const = 0;
 };
 
 /// P: hash joins with bag-semantics intermediates; naive recursion.
@@ -107,17 +115,21 @@ class RelationalEngine : public MaterializingEngine {
   }
 
  protected:
-  Result<NodePairs> ConjunctPairs(const Graph& graph, const Conjunct& c,
-                                  BudgetTracker* budget, EvalProfile* profile,
-                                  size_t conjunct_index) const override {
+  Result<ChargedPairs> ConjunctPairs(const Graph& graph, const Conjunct& c,
+                                     BudgetTracker* budget,
+                                     EvalProfile* profile,
+                                     size_t conjunct_index) const override {
     GMARK_ASSIGN_OR_RETURN(
-        NodePairs base,
+        ChargedPairs base,
         RegexBasePairs(graph, c.expr, /*set_semantics=*/false, budget));
     if (!c.expr.star) return base;
     // Record rounds even when the closure dies on its budget — a
-    // partial round count still explains where the time went.
+    // partial round count still explains where the time went. The base
+    // relation stays charged until the closure exists, then releases
+    // with `base` on return (the old hand-paired code leaked it).
     uint64_t rounds = 0;
-    Result<NodePairs> closed = ClosureNaive(graph, base, budget, &rounds);
+    Result<ChargedPairs> closed =
+        ClosureNaive(graph, base.value, budget, &rounds);
     if (profile != nullptr) {
       profile->Conjunct(conjunct_index).fixpoint_rounds += rounds;
       profile->fixpoint_rounds += rounds;
@@ -136,15 +148,17 @@ class DatalogEngine : public MaterializingEngine {
   }
 
  protected:
-  Result<NodePairs> ConjunctPairs(const Graph& graph, const Conjunct& c,
-                                  BudgetTracker* budget, EvalProfile* profile,
-                                  size_t conjunct_index) const override {
+  Result<ChargedPairs> ConjunctPairs(const Graph& graph, const Conjunct& c,
+                                     BudgetTracker* budget,
+                                     EvalProfile* profile,
+                                     size_t conjunct_index) const override {
     GMARK_ASSIGN_OR_RETURN(
-        NodePairs base,
+        ChargedPairs base,
         RegexBasePairs(graph, c.expr, /*set_semantics=*/true, budget));
     if (!c.expr.star) return base;
     uint64_t rounds = 0;
-    Result<NodePairs> closed = ClosureSemiNaive(graph, base, budget, &rounds);
+    Result<ChargedPairs> closed =
+        ClosureSemiNaive(graph, base.value, budget, &rounds);
     if (profile != nullptr) {
       profile->Conjunct(conjunct_index).fixpoint_rounds += rounds;
       profile->fixpoint_rounds += rounds;
@@ -163,9 +177,10 @@ class SparqlEngine : public MaterializingEngine {
   }
 
  protected:
-  Result<NodePairs> ConjunctPairs(const Graph& graph, const Conjunct& c,
-                                  BudgetTracker* budget, EvalProfile* profile,
-                                  size_t /*conjunct_index*/) const override {
+  Result<ChargedPairs> ConjunctPairs(const Graph& graph, const Conjunct& c,
+                                     BudgetTracker* budget,
+                                     EvalProfile* profile,
+                                     size_t /*conjunct_index*/) const override {
     GMARK_ASSIGN_OR_RETURN(Nfa nfa, Nfa::FromRegex(c.expr));
     RpqEvaluator rpq(&graph);
     return rpq.MaterializePairs(nfa, budget, profile);
@@ -188,11 +203,16 @@ class CypherEngine : public QueryEngine {
     BudgetTracker budget(budget_spec);
     EvalProfile* profile = ctx != nullptr ? ctx->profile : nullptr;
     BudgetProfileScope budget_scope(profile, &budget);
+    // One guard for the whole enumeration: the DFS's edge-visit and
+    // result charges share the lifetime of the result set, releasing
+    // when evaluation ends (before the profile snapshot, which records
+    // the peak, not the balance).
+    TupleCharge charge(&budget);
     std::unordered_set<std::string> results;
     size_t conjunct_offset = 0;
     for (const QueryRule& rule : query.rules) {
-      MatchState state{graph,  rule, &budget,        &results,
-                       {},     {},   profile,        conjunct_offset};
+      MatchState state{graph,  rule, &budget, &charge,       &results,
+                       {},     {},   profile, conjunct_offset};
       GMARK_RETURN_NOT_OK(MatchConjunct(state, 0));
       conjunct_offset += rule.body.size();
     }
@@ -204,6 +224,7 @@ class CypherEngine : public QueryEngine {
     const Graph& graph;
     const QueryRule& rule;
     BudgetTracker* budget;
+    TupleCharge* charge;
     std::unordered_set<std::string>* results;
     std::unordered_map<VarId, NodeId> bindings;
     std::unordered_set<uint64_t> used_edges;  // relationship isomorphism
@@ -269,7 +290,7 @@ class CypherEngine : public QueryEngine {
                          ? state.graph.InNeighbors(sym.predicate, node)
                          : state.graph.OutNeighbors(sym.predicate, node);
     for (NodeId w : neighbors) {
-      GMARK_RETURN_NOT_OK(state.budget->ChargeTuples(1));
+      GMARK_RETURN_NOT_OK(state.charge->Charge(1));
       uint64_t edge = sym.inverse
                           ? EdgeId(state.graph, sym.predicate, w, node)
                           : EdgeId(state.graph, sym.predicate, node, w);
@@ -293,7 +314,7 @@ class CypherEngine : public QueryEngine {
         RecordOrBindTarget(state, target_var, node, conjunct_index));
     for (PredicateId label : labels) {
       for (NodeId w : state.graph.OutNeighbors(label, node)) {
-        GMARK_RETURN_NOT_OK(state.budget->ChargeTuples(1));
+        GMARK_RETURN_NOT_OK(state.charge->Charge(1));
         uint64_t edge = EdgeId(state.graph, label, node, w);
         if (state.used_edges.count(edge) > 0) continue;
         state.used_edges.insert(edge);
@@ -313,7 +334,7 @@ class CypherEngine : public QueryEngine {
       ++state.profile->Conjunct(state.conjunct_offset + index - 1).rows;
     }
     if (index == state.rule.body.size()) {
-      GMARK_RETURN_NOT_OK(state.budget->ChargeTuples(1));
+      GMARK_RETURN_NOT_OK(state.charge->Charge(1));
       state.results->insert(HeadKey(state));
       return Status::OK();
     }

@@ -138,30 +138,37 @@ Result<uint64_t> RpqEvaluator::CountPairs(const Nfa& nfa,
                                           BudgetTracker* budget,
                                           EvalProfile* profile) const {
   uint64_t total = 0;
+  // Counting still holds every accepted pair against the budget (the
+  // paper's engines would); only the count survives the function, so
+  // the guard releases the whole charge on return.
+  TupleCharge charge(budget);
   Status st = ForEachSource(
       nfa, budget, profile, [&](NodeId, const std::vector<NodeId>& targets) {
         total += targets.size();
-        return budget->ChargeTuples(targets.size());
+        return charge.Charge(targets.size());
       });
   GMARK_RETURN_NOT_OK(st);
   return total;
 }
 
-Result<std::vector<std::pair<NodeId, NodeId>>> RpqEvaluator::MaterializePairs(
-    const Nfa& nfa, BudgetTracker* budget, EvalProfile* profile) const {
+Result<Charged<std::vector<std::pair<NodeId, NodeId>>>>
+RpqEvaluator::MaterializePairs(const Nfa& nfa, BudgetTracker* budget,
+                               EvalProfile* profile) const {
   std::vector<std::pair<NodeId, NodeId>> pairs;
+  TupleCharge charge(budget);
   Status st = ForEachSource(
       nfa, budget, profile,
       [&](NodeId source, const std::vector<NodeId>& targets) {
-        GMARK_RETURN_NOT_OK(budget->ChargeTuples(targets.size()));
+        GMARK_RETURN_NOT_OK(charge.Charge(targets.size()));
         for (NodeId t : targets) pairs.emplace_back(source, t);
         return Status::OK();
       });
   GMARK_RETURN_NOT_OK(st);
-  return pairs;
+  return Charged<std::vector<std::pair<NodeId, NodeId>>>(std::move(pairs),
+                                                         std::move(charge));
 }
 
-Result<std::vector<NodeId>> RpqEvaluator::TargetsFrom(
+Result<Charged<std::vector<NodeId>>> RpqEvaluator::TargetsFrom(
     NodeId source, const Nfa& nfa, BudgetTracker* budget,
     EvalProfile* profile) const {
   const size_t n = static_cast<size_t>(graph_->num_nodes());
@@ -169,8 +176,13 @@ Result<std::vector<NodeId>> RpqEvaluator::TargetsFrom(
   ResettableBitset visited(n * k);
   ResettableBitset accepted(n);
   std::vector<NodeId> targets;
+  TupleCharge charge(budget);
   if (nfa.AcceptsEpsilon()) {
     accepted.TestAndSet(source);
+    // The reflexive target is a held row like any other: it was never
+    // charged before the RAII migration (a benign under-count the
+    // charge == rows-held invariant no longer tolerates).
+    GMARK_RETURN_NOT_OK(charge.Charge(1));
     targets.push_back(source);
   }
   std::vector<uint64_t> stack;
@@ -192,7 +204,7 @@ Result<std::vector<NodeId>> RpqEvaluator::TargetsFrom(
     NodeId u = static_cast<NodeId>(packed / k);
     uint32_t q = static_cast<uint32_t>(packed % k);
     if (q == nfa.accept() && !accepted.TestAndSet(u)) {
-      GMARK_RETURN_NOT_OK(budget->ChargeTuples(1));
+      GMARK_RETURN_NOT_OK(charge.Charge(1));
       targets.push_back(u);
     }
     for (const NfaTransition& t : nfa.TransitionsFrom(q)) {
@@ -206,41 +218,43 @@ Result<std::vector<NodeId>> RpqEvaluator::TargetsFrom(
     }
     if (stack.size() > peak_frontier) peak_frontier = stack.size();
   }
-  return targets;
+  return Charged<std::vector<NodeId>>(std::move(targets), std::move(charge));
 }
 
-Result<VarRelation> ReferenceEvaluator::EvaluateRuleJoin(
+Result<ChargedRelation> ReferenceEvaluator::EvaluateRuleJoin(
     const QueryRule& rule, BudgetTracker* budget, EvalContext* ctx) const {
   EvalProfile* profile = ctx != nullptr ? ctx->profile : nullptr;
-  VarRelation acc;
+  ChargedRelation acc;
   bool first = true;
   for (size_t ci = 0; ci < rule.body.size(); ++ci) {
     const Conjunct& c = rule.body[ci];
     WallTimer conjunct_timer;
     GMARK_ASSIGN_OR_RETURN(Nfa nfa, Nfa::FromRegex(c.expr));
-    VarRelation rel;
-    size_t staged_pairs = 0;
+    ChargedRelation rel;
     {
       GMARK_ASSIGN_OR_RETURN(auto pairs,
                              rpq_.MaterializePairs(nfa, budget, profile));
-      rel = VarRelation::FromPairs(c.source, c.target, pairs);
       // The relation copy lives alongside the pair vector until the
-      // scope closes: charge it for its lifetime, and release the pair
-      // vector's share only once it is actually freed. Releasing before
-      // the copy was charged under-counted the live peak ~2x.
-      GMARK_RETURN_NOT_OK(budget->ChargeTuples(rel.row_count()));
-      staged_pairs = pairs.size();
+      // scope closes: ChargeRelation charges it for its lifetime, and
+      // the pair vector's share releases only when `pairs` dies at the
+      // end of this scope. Releasing before the copy was charged
+      // under-counted the live peak ~2x (the PR 5 bug).
+      GMARK_ASSIGN_OR_RETURN(
+          rel, ChargeRelation(
+                   VarRelation::FromPairs(c.source, c.target, pairs.value),
+                   budget));
     }
-    budget->ReleaseTuples(staged_pairs);
-    const size_t conjunct_rows = rel.row_count();
+    const size_t conjunct_rows = rel.value.row_count();
     if (first) {
-      acc = std::move(rel);  // rel's charge transfers to acc.
+      acc = std::move(rel);
       first = false;
     } else {
-      const size_t join_inputs = acc.row_count() + rel.row_count();
-      GMARK_ASSIGN_OR_RETURN(acc, HashJoin(acc, rel, budget));
-      // Both join inputs die here (rel, and the acc the join replaced).
-      budget->ReleaseTuples(join_inputs);
+      // Both join inputs stay charged until the join output exists;
+      // the move-assign releases the replaced acc, and rel releases at
+      // the end of the iteration.
+      GMARK_ASSIGN_OR_RETURN(ChargedRelation joined,
+                             HashJoin(acc.value, rel.value, budget));
+      acc = std::move(joined);
     }
     if (profile != nullptr) {
       ConjunctProfile& cp = profile->Conjunct(ci);
@@ -248,10 +262,9 @@ Result<VarRelation> ReferenceEvaluator::EvaluateRuleJoin(
       cp.seconds += conjunct_timer.ElapsedSeconds();
     }
   }
-  GMARK_ASSIGN_OR_RETURN(VarRelation projected,
-                         ProjectDistinct(acc, rule.head, budget));
-  budget->ReleaseTuples(acc.row_count());
-  return projected;
+  GMARK_ASSIGN_OR_RETURN(ChargedRelation projected,
+                         ProjectDistinct(acc.value, rule.head, budget));
+  return projected;  // acc releases after `projected` moves out.
 }
 
 Result<uint64_t> ReferenceEvaluator::CountDistinct(
@@ -291,12 +304,16 @@ Result<uint64_t> ReferenceEvaluator::CountDistinct(
     }
   }
 
-  // General path: join per rule, distinct union across rules.
+  // General path: join per rule, distinct union across rules. The
+  // relations and their charges live in parallel vectors until the
+  // union is counted; the guards release on function exit.
   std::vector<VarRelation> per_rule;
+  std::vector<TupleCharge> per_rule_charges;
   for (const QueryRule& rule : query.rules) {
-    GMARK_ASSIGN_OR_RETURN(VarRelation rel,
+    GMARK_ASSIGN_OR_RETURN(ChargedRelation rel,
                            EvaluateRuleJoin(rule, &budget, ctx));
-    per_rule.push_back(std::move(rel));
+    per_rule.push_back(std::move(rel.value));
+    per_rule_charges.push_back(std::move(rel.charge));
   }
   return CountDistinctUnion(per_rule, &budget);
 }

@@ -33,16 +33,20 @@ class RpqEvaluator {
   explicit RpqEvaluator(const Graph* graph) : graph_(graph) {}
 
   /// \brief Count distinct (source, target) pairs accepted by `nfa`.
+  /// The per-source target sets are charged while live and released
+  /// before returning (only the count leaves the function).
   Result<uint64_t> CountPairs(const Nfa& nfa, BudgetTracker* budget,
                               EvalProfile* profile = nullptr) const;
 
-  /// \brief Materialize all accepted pairs (set semantics).
-  Result<std::vector<std::pair<NodeId, NodeId>>> MaterializePairs(
+  /// \brief Materialize all accepted pairs (set semantics), charged
+  /// against `budget` for the lifetime of the returned vector.
+  Result<Charged<std::vector<std::pair<NodeId, NodeId>>>> MaterializePairs(
       const Nfa& nfa, BudgetTracker* budget,
       EvalProfile* profile = nullptr) const;
 
-  /// \brief Distinct targets reachable from one source.
-  Result<std::vector<NodeId>> TargetsFrom(
+  /// \brief Distinct targets reachable from one source, charged against
+  /// `budget` for the lifetime of the returned vector.
+  Result<Charged<std::vector<NodeId>>> TargetsFrom(
       NodeId source, const Nfa& nfa, BudgetTracker* budget,
       EvalProfile* profile = nullptr) const;
 
@@ -73,10 +77,11 @@ class ReferenceEvaluator {
 
   /// \brief Evaluate one rule into a relation over its head variables
   /// (join-based; used for non-chain shapes and by tests as an
-  /// independent oracle for the chain fast path).
-  Result<VarRelation> EvaluateRuleJoin(const QueryRule& rule,
-                                       BudgetTracker* budget,
-                                       EvalContext* ctx = nullptr) const;
+  /// independent oracle for the chain fast path). The result's rows are
+  /// charged against `budget` until the ChargedRelation is destroyed.
+  Result<ChargedRelation> EvaluateRuleJoin(const QueryRule& rule,
+                                           BudgetTracker* budget,
+                                           EvalContext* ctx = nullptr) const;
 
  private:
   RpqEvaluator rpq_;

@@ -57,8 +57,15 @@ int VarRelation::IndexOf(VarId var) const {
   return -1;
 }
 
-Result<VarRelation> HashJoin(const VarRelation& a, const VarRelation& b,
-                             BudgetTracker* budget) {
+Result<ChargedRelation> ChargeRelation(VarRelation rel,
+                                       BudgetTracker* budget) {
+  TupleCharge charge(budget);
+  GMARK_RETURN_NOT_OK(charge.Charge(rel.row_count()));
+  return ChargedRelation(std::move(rel), std::move(charge));
+}
+
+Result<ChargedRelation> HashJoin(const VarRelation& a, const VarRelation& b,
+                                 BudgetTracker* budget) {
   // Shared variables and their positions in both relations.
   std::vector<int> a_pos, b_pos;
   for (size_t i = 0; i < a.vars().size(); ++i) {
@@ -78,6 +85,7 @@ Result<VarRelation> HashJoin(const VarRelation& a, const VarRelation& b,
     }
   }
   VarRelation out(out_vars);
+  TupleCharge charge(budget);
 
   // Build on b, probe with a.
   std::unordered_map<std::vector<NodeId>, std::vector<size_t>, RowHasher>
@@ -96,16 +104,16 @@ Result<VarRelation> HashJoin(const VarRelation& a, const VarRelation& b,
       for (int p : b_extra) {
         row_buf.push_back(b.row(j)[static_cast<size_t>(p)]);
       }
-      GMARK_RETURN_NOT_OK(budget->ChargeTuples(1));
+      GMARK_RETURN_NOT_OK(charge.Charge(1));
       out.AppendRow(row_buf);
     }
   }
-  return out;
+  return ChargedRelation(std::move(out), std::move(charge));
 }
 
-Result<VarRelation> ProjectDistinct(const VarRelation& rel,
-                                    const std::vector<VarId>& onto,
-                                    BudgetTracker* budget) {
+Result<ChargedRelation> ProjectDistinct(const VarRelation& rel,
+                                        const std::vector<VarId>& onto,
+                                        BudgetTracker* budget) {
   std::vector<int> positions;
   for (VarId v : onto) {
     int p = rel.IndexOf(v);
@@ -115,20 +123,21 @@ Result<VarRelation> ProjectDistinct(const VarRelation& rel,
     positions.push_back(p);
   }
   VarRelation out(onto);
+  TupleCharge charge(budget);
   if (onto.empty()) {
     if (rel.row_count() > 0) out.SetNonEmpty();
-    return out;
+    return ChargedRelation(std::move(out), std::move(charge));
   }
   std::unordered_set<std::vector<NodeId>, RowHasher> seen;
   seen.reserve(rel.row_count());
   for (size_t i = 0; i < rel.row_count(); ++i) {
     std::vector<NodeId> key = KeyOf(rel.row(i), positions);
     if (seen.insert(key).second) {
-      GMARK_RETURN_NOT_OK(budget->ChargeTuples(1));
+      GMARK_RETURN_NOT_OK(charge.Charge(1));
       out.AppendRow(key);
     }
   }
-  return out;
+  return ChargedRelation(std::move(out), std::move(charge));
 }
 
 Result<uint64_t> CountDistinctUnion(const std::vector<VarRelation>& rels,
@@ -141,11 +150,14 @@ Result<uint64_t> CountDistinctUnion(const std::vector<VarRelation>& rels,
     return static_cast<uint64_t>(0);
   }
   std::unordered_set<std::vector<NodeId>, RowHasher> seen;
+  // The distinct set's charge lives exactly as long as the set: it
+  // releases when this guard unwinds, on success and failure alike.
+  TupleCharge charge(budget);
   for (const auto& r : rels) {
     for (size_t i = 0; i < r.row_count(); ++i) {
       std::vector<NodeId> key(r.row(i).begin(), r.row(i).end());
       if (seen.insert(std::move(key)).second) {
-        GMARK_RETURN_NOT_OK(budget->ChargeTuples(1));
+        GMARK_RETURN_NOT_OK(charge.Charge(1));
       }
     }
     GMARK_RETURN_NOT_OK(budget->CheckTime());

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "engine/budget.h"
+#include "engine/charge.h"
 #include "graph/graph.h"
 #include "query/query.h"
 #include "util/result.h"
@@ -56,16 +57,31 @@ class VarRelation {
   bool nullary_nonempty_ = false;
 };
 
+/// \brief A relation whose rows are charged against a BudgetTracker:
+/// the charge releases when the relation is destroyed (or is handed on
+/// via the guard's Transfer/Adopt). Every materializing operator below
+/// returns one, so a relation can never outlive — or predate — its
+/// budget accounting.
+using ChargedRelation = Charged<VarRelation>;
+
+/// \brief Charge `rel`'s rows against `budget` and bind the charge to
+/// the relation's lifetime. On budget exhaustion the charge unwinds and
+/// the error is returned (the tracker's peak still records the attempt,
+/// matching BudgetTracker::ChargeTuples semantics).
+Result<ChargedRelation> ChargeRelation(VarRelation rel,
+                                       BudgetTracker* budget);
+
 /// \brief Natural hash join on the shared variables of `a` and `b`.
 /// Joins with no shared variables degenerate to a (budgeted) cross
-/// product.
-Result<VarRelation> HashJoin(const VarRelation& a, const VarRelation& b,
-                             BudgetTracker* budget);
+/// product. Output rows are charged as they are produced.
+Result<ChargedRelation> HashJoin(const VarRelation& a, const VarRelation& b,
+                                 BudgetTracker* budget);
 
-/// \brief Project onto `onto` and de-duplicate.
-Result<VarRelation> ProjectDistinct(const VarRelation& rel,
-                                    const std::vector<VarId>& onto,
-                                    BudgetTracker* budget);
+/// \brief Project onto `onto` and de-duplicate. Kept rows are charged
+/// as they are produced.
+Result<ChargedRelation> ProjectDistinct(const VarRelation& rel,
+                                        const std::vector<VarId>& onto,
+                                        BudgetTracker* budget);
 
 /// \brief Count the distinct tuples in the union of equal-width
 /// relations (the UCRPQ union semantics with a count(distinct)

@@ -127,13 +127,17 @@ class MetricRegistry {
 
  private:
   struct HistogramCells {
+    // SAFETY: each cell belongs to one worker's shard; only that worker
+    // writes it (relaxed RMW), and readers run after Executor::Wait or
+    // tolerate torn snapshots (documented on Snapshot()).
     std::atomic<uint64_t> count{0};
     std::atomic<uint64_t> sum{0};
     std::atomic<uint64_t> buckets[kHistogramBuckets] = {};
   };
   struct Shard {
-    // Sized kMaxScalars / kMaxHistograms once in the constructor and
-    // never resized: cell addresses stay stable for lock-free updates.
+    // SAFETY: sized kMaxScalars / kMaxHistograms once in the
+    // constructor and never resized, so cell addresses stay stable for
+    // lock-free updates; per-worker ownership as on HistogramCells.
     std::vector<std::atomic<uint64_t>> scalars;
     std::vector<HistogramCells> histograms;
   };

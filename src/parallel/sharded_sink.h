@@ -94,8 +94,9 @@ class ShardedSink : public ShardStore {
   // ranges. No mutex guards this on purpose — the phase discipline is
   // the synchronization, and the TSan job checks it.
   std::vector<std::vector<Edge>> shards_;
-  /// Edges whose buffers ReleaseRange already freed; atomic because
-  /// per-predicate build tasks release their ranges concurrently.
+  // SAFETY: atomic because per-predicate build tasks release their
+  // ranges concurrently (relaxed add); read only after Executor::Wait
+  // joins those tasks.
   std::atomic<size_t> released_edges_{0};
 };
 

@@ -19,7 +19,7 @@ namespace gmark {
 /// diagnostic; callers are expected to test ok() (or use
 /// GMARK_ASSIGN_OR_RETURN) first.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// \brief Construct a successful result.
   Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -30,7 +30,7 @@ const char* StatusCodeName(StatusCode code);
 ///
 /// A default-constructed Status is OK. Statuses are cheap to copy in the
 /// OK case and carry their message by value otherwise.
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)

@@ -42,13 +42,13 @@ TEST(EngineCommonTest, ComposePathPairs) {
   auto pairs = ComposePathPairs(g, {Symbol::Fwd(0), Symbol::Fwd(0)},
                                 /*set_semantics=*/true, &budget);
   ASSERT_TRUE(pairs.ok());
-  EXPECT_EQ(pairs->size(), 2u);
+  EXPECT_EQ(pairs->value.size(), 2u);
   // a.a.b: {(1,0)} -- wait: 1 -a-> 2 -a-> 3 -b-> 0.
   auto pairs2 = ComposePathPairs(
       g, {Symbol::Fwd(0), Symbol::Fwd(0), Symbol::Fwd(1)}, true, &budget);
   ASSERT_TRUE(pairs2.ok());
-  ASSERT_EQ(pairs2->size(), 1u);
-  EXPECT_EQ((*pairs2)[0], (std::pair<NodeId, NodeId>{1, 0}));
+  ASSERT_EQ(pairs2->value.size(), 1u);
+  EXPECT_EQ(pairs2->value[0], (std::pair<NodeId, NodeId>{1, 0}));
 }
 
 TEST(EngineCommonTest, BagVsSetSemanticsDifferOnDiamonds) {
@@ -68,8 +68,8 @@ TEST(EngineCommonTest, BagVsSetSemanticsDifferOnDiamonds) {
                               &budget);
   ASSERT_TRUE(bag.ok());
   ASSERT_TRUE(set.ok());
-  EXPECT_EQ(bag->size(), 2u);  // (0,3) twice.
-  EXPECT_EQ(set->size(), 1u);
+  EXPECT_EQ(bag->value.size(), 2u);  // (0,3) twice.
+  EXPECT_EQ(set->value.size(), 1u);
 }
 
 TEST(EngineCommonTest, RegexBasePairsUnionsDisjunctsAsSet) {
@@ -79,7 +79,8 @@ TEST(EngineCommonTest, RegexBasePairsUnionsDisjunctsAsSet) {
   expr.disjuncts = {{Symbol::Fwd(0)}, {Symbol::Fwd(0)}, {Symbol::Fwd(1)}};
   auto base = RegexBasePairs(g, expr, false, &budget);
   ASSERT_TRUE(base.ok());
-  EXPECT_EQ(base->size(), 4u);  // 3 a-edges + 1 b-edge, deduplicated.
+  EXPECT_EQ(base->value.size(), 4u);  // 3 a-edges + 1 b-edge, deduplicated.
+  EXPECT_EQ(base->charge.count(), 4u);
 }
 
 TEST(EngineCommonTest, ClosureOfPathGraphIsFullUpperTriangle) {
@@ -89,7 +90,7 @@ TEST(EngineCommonTest, ClosureOfPathGraphIsFullUpperTriangle) {
   auto closure = ClosureSemiNaive(g, base, &budget);
   ASSERT_TRUE(closure.ok());
   // Reflexive (4) + all i<j pairs on the chain (6).
-  EXPECT_EQ(closure->size(), 10u);
+  EXPECT_EQ(closure->value.size(), 10u);
 }
 
 TEST(EngineCommonTest, NaiveAndSemiNaiveClosuresAgree) {
@@ -104,13 +105,13 @@ TEST(EngineCommonTest, NaiveAndSemiNaiveClosuresAgree) {
     BudgetTracker b2(ResourceBudget::Unlimited());
     auto base = RegexBasePairs(g, co, true, &b1);
     ASSERT_TRUE(base.ok());
-    auto naive = ClosureNaive(g, *base, &b1);
-    auto semi = ClosureSemiNaive(g, *base, &b2);
+    auto naive = ClosureNaive(g, base->value, &b1);
+    auto semi = ClosureSemiNaive(g, base->value, &b2);
     ASSERT_TRUE(naive.ok());
     ASSERT_TRUE(semi.ok());
-    DedupPairs(&*naive);
-    DedupPairs(&*semi);
-    EXPECT_EQ(*naive, *semi) << "seed=" << seed;
+    DedupPairs(&naive->value);
+    DedupPairs(&semi->value);
+    EXPECT_EQ(naive->value, semi->value) << "seed=" << seed;
   }
 }
 
@@ -141,8 +142,9 @@ TEST(EngineCommonTest, ClosureRespectsBudget) {
   BudgetTracker budget(ResourceBudget::Limited(60.0, 1000));
   auto base = RegexBasePairs(g, co, true, &budget);
   if (base.ok()) {
-    EXPECT_TRUE(
-        ClosureNaive(g, *base, &budget).status().IsResourceExhausted());
+    EXPECT_TRUE(ClosureNaive(g, base->value, &budget)
+                    .status()
+                    .IsResourceExhausted());
   } else {
     EXPECT_TRUE(base.status().IsResourceExhausted());
   }

@@ -156,9 +156,17 @@ TEST(EnginesTest, TupleBudgetCountsBothPairAndRelationCopies) {
   // Between the phantom peak (20) and the real one (40): must fire.
   auto tight = engine->Evaluate(g, q, ResourceBudget::Limited(60.0, 30));
   EXPECT_TRUE(tight.status().IsResourceExhausted());
-  // Above the real peak: must succeed.
-  auto roomy = engine->Evaluate(g, q, ResourceBudget::Limited(60.0, 50));
+  // Above the real peak: must succeed — and the profile must pin the
+  // exact peak (pairs + relation copy) with zero over-releases, the
+  // invariant the TupleCharge RAII layer makes structural.
+  EvalProfile profile;
+  EvalContext ctx;
+  ctx.profile = &profile;
+  auto roomy =
+      engine->Evaluate(g, q, ResourceBudget::Limited(60.0, 50), &ctx);
   EXPECT_EQ(roomy.ValueOrDie(), 1u);
+  EXPECT_EQ(profile.peak_tuples, 40u);
+  EXPECT_EQ(profile.over_releases, 0u);
 }
 
 TEST(EnginesTest, BudgetExhaustionSurfacesAsFailure) {

@@ -163,9 +163,9 @@ TEST(EvaluatorTest, JoinPathAgreesWithChainFastPathOnGeneratedGraphs) {
     for (const GeneratedQuery& gq : workload.queries) {
       uint64_t fast = eval.CountDistinct(gq.query).ValueOrDie();
       BudgetTracker tracker(ResourceBudget::Unlimited());
-      VarRelation rel =
+      ChargedRelation rel =
           eval.EvaluateRuleJoin(gq.query.rules[0], &tracker).ValueOrDie();
-      EXPECT_EQ(fast, rel.row_count())
+      EXPECT_EQ(fast, rel.value.row_count())
           << WorkloadPresetName(preset) << " "
           << gq.query.ToString(config.schema);
     }
@@ -247,13 +247,16 @@ TEST(EvaluatorTest, TupleChargesFollowRelationLifetimes) {
   Query q = BinaryChain({RegularExpression::Atom(Symbol::Fwd(0))});
   q.rules[0].head = {0};  // Project onto the single distinct source.
   BudgetTracker tracker(ResourceBudget::Unlimited());
-  VarRelation rel =
+  ChargedRelation rel =
       eval.EvaluateRuleJoin(q.rules[0], &tracker).ValueOrDie();
-  EXPECT_EQ(rel.row_count(), 1u);
+  EXPECT_EQ(rel.value.row_count(), 1u);
   // Peak: 20 materialized pairs + the 20-row relation copy. Final live
-  // tuples: just the projected row (everything else released on free).
+  // tuples: just the projected row, held by rel's guard (everything
+  // else released as its owning guard died).
   EXPECT_EQ(tracker.peak_tuples(), 40u);
   EXPECT_EQ(tracker.tuples_used(), 1u);
+  EXPECT_EQ(rel.charge.count(), 1u);
+  EXPECT_EQ(tracker.over_releases(), 0u);
 }
 
 TEST(RpqEvaluatorTest, TargetsFromSingleSource) {
@@ -266,7 +269,8 @@ TEST(RpqEvaluatorTest, TargetsFromSingleSource) {
   BudgetTracker budget(ResourceBudget::Unlimited());
   auto targets = rpq.TargetsFrom(4, nfa, &budget).ValueOrDie();
   // 4 reaches itself (epsilon) plus 0,1,2,3.
-  EXPECT_EQ(targets.size(), 5u);
+  EXPECT_EQ(targets.value.size(), 5u);
+  EXPECT_EQ(targets.charge.count(), 5u);
 }
 
 }  // namespace

@@ -31,28 +31,31 @@ TEST(RelationTest, HashJoinOnSharedVariable) {
   BudgetTracker budget(ResourceBudget::Unlimited());
   VarRelation r = MakeRelation({0, 1}, {{1, 2}, {3, 4}, {5, 2}});
   VarRelation s = MakeRelation({1, 2}, {{2, 7}, {2, 8}, {4, 9}});
-  VarRelation joined = HashJoin(r, s, &budget).ValueOrDie();
-  EXPECT_EQ(joined.vars(), (std::vector<VarId>{0, 1, 2}));
+  ChargedRelation joined = HashJoin(r, s, &budget).ValueOrDie();
+  EXPECT_EQ(joined.value.vars(), (std::vector<VarId>{0, 1, 2}));
   // (1,2)x{7,8}, (5,2)x{7,8}, (3,4)x{9}: 5 rows.
-  EXPECT_EQ(joined.row_count(), 5u);
+  EXPECT_EQ(joined.value.row_count(), 5u);
+  // The join output's charge is bound to the relation's lifetime.
+  EXPECT_EQ(joined.charge.count(), 5u);
+  EXPECT_EQ(budget.tuples_used(), 5u);
 }
 
 TEST(RelationTest, HashJoinOnTwoSharedVariables) {
   BudgetTracker budget(ResourceBudget::Unlimited());
   VarRelation r = MakeRelation({0, 1}, {{1, 2}, {3, 4}});
   VarRelation s = MakeRelation({0, 1}, {{1, 2}, {3, 9}});
-  VarRelation joined = HashJoin(r, s, &budget).ValueOrDie();
-  EXPECT_EQ(joined.row_count(), 1u);
-  EXPECT_EQ(joined.row(0)[0], 1u);
+  ChargedRelation joined = HashJoin(r, s, &budget).ValueOrDie();
+  EXPECT_EQ(joined.value.row_count(), 1u);
+  EXPECT_EQ(joined.value.row(0)[0], 1u);
 }
 
 TEST(RelationTest, HashJoinWithoutSharedVariablesIsCrossProduct) {
   BudgetTracker budget(ResourceBudget::Unlimited());
   VarRelation r = MakeRelation({0}, {{1}, {2}});
   VarRelation s = MakeRelation({1}, {{7}, {8}, {9}});
-  VarRelation joined = HashJoin(r, s, &budget).ValueOrDie();
-  EXPECT_EQ(joined.row_count(), 6u);
-  EXPECT_EQ(joined.width(), 2u);
+  ChargedRelation joined = HashJoin(r, s, &budget).ValueOrDie();
+  EXPECT_EQ(joined.value.row_count(), 6u);
+  EXPECT_EQ(joined.value.width(), 2u);
 }
 
 TEST(RelationTest, HashJoinChargesBudget) {
@@ -65,13 +68,13 @@ TEST(RelationTest, HashJoinChargesBudget) {
 TEST(RelationTest, ProjectDistinct) {
   BudgetTracker budget(ResourceBudget::Unlimited());
   VarRelation r = MakeRelation({0, 1}, {{1, 2}, {1, 3}, {1, 2}, {4, 2}});
-  VarRelation p = ProjectDistinct(r, {0}, &budget).ValueOrDie();
-  EXPECT_EQ(p.row_count(), 2u);  // {1, 4}
-  VarRelation p2 = ProjectDistinct(r, {0, 1}, &budget).ValueOrDie();
-  EXPECT_EQ(p2.row_count(), 3u);
-  VarRelation swapped = ProjectDistinct(r, {1, 0}, &budget).ValueOrDie();
-  EXPECT_EQ(swapped.row_count(), 3u);
-  EXPECT_EQ(swapped.row(0)[0], 2u);  // Column order follows `onto`.
+  ChargedRelation p = ProjectDistinct(r, {0}, &budget).ValueOrDie();
+  EXPECT_EQ(p.value.row_count(), 2u);  // {1, 4}
+  ChargedRelation p2 = ProjectDistinct(r, {0, 1}, &budget).ValueOrDie();
+  EXPECT_EQ(p2.value.row_count(), 3u);
+  ChargedRelation swapped = ProjectDistinct(r, {1, 0}, &budget).ValueOrDie();
+  EXPECT_EQ(swapped.value.row_count(), 3u);
+  EXPECT_EQ(swapped.value.row(0)[0], 2u);  // Column order follows `onto`.
 }
 
 TEST(RelationTest, ProjectDistinctOnUnknownVariableFails) {
@@ -84,8 +87,8 @@ TEST(RelationTest, NullaryProjection) {
   BudgetTracker budget(ResourceBudget::Unlimited());
   VarRelation nonempty = MakeRelation({0}, {{1}});
   VarRelation empty = MakeRelation({0}, {});
-  EXPECT_EQ(ProjectDistinct(nonempty, {}, &budget)->row_count(), 1u);
-  EXPECT_EQ(ProjectDistinct(empty, {}, &budget)->row_count(), 0u);
+  EXPECT_EQ(ProjectDistinct(nonempty, {}, &budget)->value.row_count(), 1u);
+  EXPECT_EQ(ProjectDistinct(empty, {}, &budget)->value.row_count(), 0u);
 }
 
 TEST(RelationTest, CountDistinctUnionMergesOverlap) {
@@ -100,8 +103,8 @@ TEST(RelationTest, CountDistinctUnionNullary) {
   BudgetTracker budget(ResourceBudget::Unlimited());
   VarRelation t = MakeRelation({0}, {{1}});
   BudgetTracker b2(ResourceBudget::Unlimited());
-  VarRelation projected = ProjectDistinct(t, {}, &b2).ValueOrDie();
-  EXPECT_EQ(CountDistinctUnion({projected}, &budget).ValueOrDie(), 1u);
+  ChargedRelation projected = ProjectDistinct(t, {}, &b2).ValueOrDie();
+  EXPECT_EQ(CountDistinctUnion({projected.value}, &budget).ValueOrDie(), 1u);
 }
 
 TEST(RelationTest, DedupPairsSortsAndUniques) {

@@ -126,6 +126,9 @@ TEST_F(EngineProfileTest, AllFourEnginesFillTheProfile) {
       EXPECT_GT(profile.bfs_pops, 0u);
       EXPECT_GT(profile.bfs_peak_frontier, 0u);
     }
+    // Hard invariant: the TupleCharge RAII layer makes a release that
+    // exceeds the outstanding charge structurally unreachable.
+    EXPECT_EQ(profile.over_releases, 0u) << EngineKindCode(kind);
   }
 }
 
@@ -171,6 +174,9 @@ TEST_F(EngineProfileTest, ProfileSurvivesBudgetFailure) {
     auto result = engine->Evaluate(graph_, query_, budget, &ctx);
     ASSERT_FALSE(result.ok()) << EngineKindCode(kind);
     EXPECT_GE(profile.peak_tuples, budget.max_tuples) << EngineKindCode(kind);
+    // The budget-failure unwind releases exactly what was charged, even
+    // though the failed charge itself was recorded before rejection.
+    EXPECT_EQ(profile.over_releases, 0u) << EngineKindCode(kind);
   }
 }
 

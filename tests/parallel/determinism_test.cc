@@ -176,14 +176,14 @@ TEST(ThreadPoolTest, WaitIsReusableAcrossBatches) {
 
 TEST(ShardedSinkTest, DrainPreservesCanonicalOrder) {
   ShardedSink sink;
-  sink.Reset(3);
+  ASSERT_TRUE(sink.Reset(3).ok());
   // Fill shards out of order — canonical order is by index, not fill
   // order.
   sink.shard(2).push_back(Edge{5, 0, 6});
   sink.shard(0).push_back(Edge{1, 0, 2});
   sink.shard(1).push_back(Edge{3, 0, 4});
   VectorSink out;
-  sink.Drain(&out);
+  ASSERT_TRUE(sink.Drain(&out).ok());
   const std::vector<Edge> expected = {
       Edge{1, 0, 2}, Edge{3, 0, 4}, Edge{5, 0, 6}};
   EXPECT_EQ(out.edges(), expected);

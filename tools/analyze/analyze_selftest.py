@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Self-test for protocol_analyzer.py over the golden fixtures in
+tools/analyze/testdata/.
+
+Every file under testdata/bad/ must produce findings with exactly the
+rule ids the fixture exercises; every file under testdata/good/ must
+produce none (that set deliberately includes the allowlist mirrors
+engine/charge.h and engine/budget.h, and the token rule's historical
+find()/end() false-positive class). Run directly or via
+`ctest -R analyze`.
+
+When the libclang bindings are unavailable the self-test exits 77
+(ctest's skip code; the analyze_selftest test registers it via
+SKIP_RETURN_CODE). CI installs the pinned libclang wheel, so there the
+fixtures always run.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import protocol_analyzer  # noqa: E402
+
+TESTDATA = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "testdata")
+SUPPORT = os.path.join(TESTDATA, "support")
+
+# fixture (relative to testdata/) -> exact set of rule ids it must hit.
+EXPECTED_BAD = {
+    "bad/raw_charge.cc": {"raw-charge"},
+    "bad/unchecked_status.cc": {"unchecked-status"},
+    "bad/unguarded_field.cc": {"unguarded-shared-field"},
+    "bad/unordered_iter_alias.cc": {"unordered-iter-ast"},
+    "bad/nolint_empty.cc": {"nolint-empty-reason"},
+}
+
+# Minimum finding counts where a fixture pins more than one site.
+EXPECTED_MIN_COUNT = {
+    "bad/raw_charge.cc": 2,        # ChargeTuples + ReleaseTuples
+    "bad/unchecked_status.cc": 2,  # Status + Result<T>
+    "bad/unguarded_field.cc": 2,   # mutex-adjacent + atomic
+}
+
+
+def analyze(paths):
+    """(findings, exit_code) from a CLI-equivalent invocation."""
+    cindex, index = protocol_analyzer.load_libclang()[0]
+    scope = protocol_analyzer.explicit_scope_filter(paths)
+    analyzer = protocol_analyzer.Analyzer(cindex, scope)
+    for path in paths:
+        tu = index.parse(path,
+                         args=["-x", "c++", "-std=c++17", "-I", SUPPORT])
+        fatal = [d for d in tu.diagnostics if d.severity >= 4]
+        if fatal:
+            raise RuntimeError(f"{path}: {fatal[0].spelling}")
+        analyzer.analyze_tu(tu)
+    return sorted(analyzer.findings.values(),
+                  key=lambda f: (f.path, f.line, f.rule))
+
+
+def walk_fixtures(subdir):
+    root = os.path.join(TESTDATA, subdir)
+    out = []
+    for dirpath, dirs, files in os.walk(root):
+        dirs.sort()
+        for name in sorted(files):
+            if os.path.splitext(name)[1] in (".cc", ".h"):
+                out.append(os.path.join(dirpath, name))
+    return out
+
+
+def main():
+    loaded, why = protocol_analyzer.load_libclang()
+    if loaded is None:
+        print(f"analyze_selftest: SKIP — {why}", file=sys.stderr)
+        return 77
+
+    failures = []
+
+    for rel, expected_rules in sorted(EXPECTED_BAD.items()):
+        path = os.path.join(TESTDATA, rel)
+        findings = analyze([path])
+        got = {f.rule for f in findings}
+        if not findings:
+            failures.append(f"{rel}: expected {sorted(expected_rules)}, "
+                            f"got no findings")
+        elif got != expected_rules:
+            failures.append(f"{rel}: expected rules "
+                            f"{sorted(expected_rules)}, got {sorted(got)}")
+        elif len(findings) < EXPECTED_MIN_COUNT.get(rel, 1):
+            failures.append(
+                f"{rel}: expected >= {EXPECTED_MIN_COUNT[rel]} findings, "
+                f"got {len(findings)}: "
+                + "; ".join(str(f) for f in findings))
+
+    good_files = walk_fixtures("good")
+    for path in good_files:
+        rel = os.path.relpath(path, TESTDATA).replace(os.sep, "/")
+        findings = analyze([path])
+        if findings:
+            listed = "; ".join(str(f) for f in findings)
+            failures.append(f"{rel}: expected clean, got: {listed}")
+
+    # The fixtures must also fail/pass through the CLI — the exact
+    # surface CMake and CI call.
+    bad_files = [os.path.join(TESTDATA, rel) for rel in sorted(EXPECTED_BAD)]
+    bad_exit = protocol_analyzer.main(
+        ["protocol_analyzer.py", "--support-dir", SUPPORT] + bad_files)
+    if bad_exit != 1:
+        failures.append(f"CLI over testdata/bad: expected exit 1, "
+                        f"got {bad_exit}")
+    good_exit = protocol_analyzer.main(
+        ["protocol_analyzer.py", "--support-dir", SUPPORT] + good_files)
+    if good_exit != 0:
+        failures.append(f"CLI over testdata/good: expected exit 0, "
+                        f"got {good_exit}")
+
+    if failures:
+        print("analyze_selftest: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"analyze_selftest: PASS ({len(EXPECTED_BAD)} bad fixtures, "
+          f"{len(good_files)} good fixtures)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

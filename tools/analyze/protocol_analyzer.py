@@ -1,0 +1,536 @@
+#!/usr/bin/env python3
+"""gMark resource-protocol analyzer (AST-grade, libclang).
+
+The token lint (tools/lint/determinism_lint.py) is dependency-free and
+catches what a regex can see. This analyzer is its type-resolved
+complement: it parses real translation units through libclang
+(`clang.cindex`), so its rules see through macros, typedefs, and
+cross-file declarations that no token scan can follow. The two tools
+split the work — see tools/lint/README.md for the division of labor.
+
+Rules:
+
+  raw-charge             a call to BudgetTracker::ChargeTuples or
+                         BudgetTracker::ReleaseTuples outside the RAII
+                         layer (src/engine/charge.h, src/engine/budget.h).
+                         Manual charge/release ordering is how the PR 5
+                         lifetime-under-count bug was written; every
+                         other site must hold tuples through TupleCharge.
+  unchecked-status       an expression statement that discards a
+                         gmark::Status or gmark::Result<T> return value.
+                         Type-accurate: the check reads the call's
+                         resolved type, so it works across macros and
+                         aliases; `(void)` casts are deliberate discards
+                         and never flagged.
+  unguarded-shared-field a std::atomic member, or any member of a class
+                         that also owns a Mutex, carrying neither a
+                         GUARDED_BY annotation nor a `// SAFETY:`
+                         comment explaining why it needs no guard.
+                         Synchronization primitives themselves (Mutex,
+                         CondVar, MutexLock, std:: equivalents) are
+                         exempt.
+  unordered-iter-ast     a range-for whose range expression's canonical
+                         type is a std::unordered_{map,set,multimap,
+                         multiset} — including through typedefs/aliases
+                         declared in other files, which the token rule
+                         cannot see. find()/end() membership tests are
+                         structurally invisible to this rule (only the
+                         range expression's type is inspected), so the
+                         token rule's false-positive class cannot occur.
+  nolint-empty-reason    a NOLINT-ANALYZE escape with no justification.
+
+Escape hatch: `// NOLINT-ANALYZE(reason)` on the flagged line or the
+line directly above suppresses every rule for that line; an empty
+reason is itself a finding.
+
+Modes:
+  -p BUILD_DIR     analyze the src/ translation units listed in
+                   BUILD_DIR/compile_commands.json (findings are
+                   reported for files under src/ only; tests may use
+                   the raw protocol to pin tracker behavior).
+  FILE...          analyze the named files directly (fixture mode);
+                   pass --support-dir for the fixtures' include root.
+
+When the libclang bindings are unavailable the analyzer SKIPS: exit 0
+by default (local dev boxes need not install clang), 77 under
+--strict-skip (ctest's skip code), 2 under --strict (CI, where the
+pinned libclang wheel is installed and absence is a job bug).
+
+  exit 0: clean/skip   1: findings   2: error/strict-skip   77: ctest skip
+"""
+
+import argparse
+import json
+import os
+import re
+import shlex
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+# Path suffixes (POSIX-style) where the raw tuple-charge protocol IS
+# the sanctioned implementation.
+RAW_CHARGE_ALLOWED_SUFFIXES = ("engine/charge.h", "engine/budget.h")
+RAW_CHARGE_METHODS = {"ChargeTuples", "ReleaseTuples"}
+
+NOLINT_RE = re.compile(r"NOLINT-ANALYZE\(([^)]*)\)")
+
+# Exact canonical spellings (const/ref stripped) of synchronization
+# primitives: these fields ARE the guard, so they need none themselves.
+SYNC_EXACT_TYPES = {
+    "gmark::Mutex", "gmark::CondVar", "gmark::MutexLock",
+    "std::mutex", "std::recursive_mutex", "std::shared_mutex",
+    "std::condition_variable", "std::condition_variable_any",
+}
+SYNC_TYPE_PREFIXES = (
+    "std::unique_lock<", "std::lock_guard<", "std::scoped_lock<",
+)
+# Exact canonical spellings that make a class "mutex-owning".
+MUTEX_EXACT_TYPES = {"gmark::Mutex", "std::mutex", "std::recursive_mutex",
+                     "std::shared_mutex"}
+
+UNORDERED_TYPE_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)<")
+ATOMIC_TYPE_RE = re.compile(r"\bstd::atomic<")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def key(self):
+        return (self.path, self.line, self.rule, self.message)
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def load_libclang():
+    """(cindex module, Index) or (None, reason-string)."""
+    try:
+        from clang import cindex  # noqa: F401
+    except ImportError as e:
+        return None, f"python clang bindings not importable ({e})"
+    try:
+        index = cindex.Index.create()
+    except Exception as e:  # LibclangError has no stable type path
+        return None, f"libclang shared library unavailable ({e})"
+    return (cindex, index), ""
+
+
+def relpath(path):
+    rel = os.path.relpath(os.path.abspath(path), REPO_ROOT)
+    return rel.replace(os.sep, "/")
+
+
+def strip_cvref(spelling):
+    s = spelling.strip()
+    for token in ("const ", "volatile "):
+        while s.startswith(token):
+            s = s[len(token):]
+    while s.endswith("&") or s.endswith("*"):
+        s = s[:-1].rstrip()
+    return s
+
+
+class FileLines:
+    """Raw line cache for NOLINT / GUARDED_BY / SAFETY lookups."""
+
+    def __init__(self):
+        self._cache = {}
+
+    def lines(self, path):
+        if path not in self._cache:
+            try:
+                with open(path, encoding="utf-8", errors="replace") as f:
+                    self._cache[path] = f.read().splitlines()
+            except OSError:
+                self._cache[path] = []
+        return self._cache[path]
+
+
+class Analyzer:
+    """Runs every rule over parsed translation units, deduplicating
+    findings across TUs (headers are visited once per includer)."""
+
+    # Lines that terminate the upward `// SAFETY:` scan: the start of
+    # the class body, an access specifier, or a blank line means the
+    # comment block above no longer speaks for this field.
+    SAFETY_STOP_RE = re.compile(
+        r"^\s*(?:\{|\}|};|public\s*:|private\s*:|protected\s*:|struct\b"
+        r"|class\b)|^\s*$")
+
+    def __init__(self, cindex, report_file_filter):
+        self.cindex = cindex
+        self.ck = cindex.CursorKind
+        # report_file_filter(abs_path) -> bool: whether findings in that
+        # file are in scope for this invocation.
+        self.in_scope = report_file_filter
+        self.files = FileLines()
+        self.findings = {}
+        self.nolint_scanned = set()
+
+    # -- reporting ------------------------------------------------------
+
+    def report(self, path, line, rule, message):
+        found, reason = self.nolint_reason(path, line)
+        if found:
+            if reason:
+                return
+            rule = "nolint-empty-reason"
+            message = ("NOLINT-ANALYZE must carry a justification: "
+                       "NOLINT-ANALYZE(<why this is safe>)")
+        f = Finding(relpath(path), line, rule, message)
+        self.findings[f.key()] = f
+
+    def nolint_reason(self, path, line_no):
+        lines = self.files.lines(path)
+        for candidate in (line_no, line_no - 1):
+            if 1 <= candidate <= len(lines):
+                m = NOLINT_RE.search(lines[candidate - 1])
+                if m:
+                    return True, m.group(1).strip()
+        return False, ""
+
+    def scan_unused_nolints(self, path):
+        """Empty-reason escapes that no rule consumed (textual pass)."""
+        if path in self.nolint_scanned:
+            return
+        self.nolint_scanned.add(path)
+        for i, raw in enumerate(self.files.lines(path), start=1):
+            m = NOLINT_RE.search(raw)
+            if m and not m.group(1).strip():
+                f = Finding(relpath(path), i, "nolint-empty-reason",
+                            "NOLINT-ANALYZE must carry a justification: "
+                            "NOLINT-ANALYZE(<why this is safe>)")
+                self.findings[f.key()] = f
+
+    # -- per-TU driver --------------------------------------------------
+
+    def analyze_tu(self, tu):
+        for cursor in tu.cursor.walk_preorder():
+            loc = cursor.location
+            if loc.file is None:
+                continue
+            path = os.path.abspath(loc.file.name)
+            if not self.in_scope(path):
+                continue
+            self.scan_unused_nolints(path)
+            kind = cursor.kind
+            if kind == self.ck.CALL_EXPR:
+                self.check_raw_charge(cursor, path)
+            elif kind == self.ck.COMPOUND_STMT:
+                self.check_unchecked_status(cursor)
+            elif kind in (self.ck.CLASS_DECL, self.ck.STRUCT_DECL,
+                          self.ck.CLASS_TEMPLATE):
+                self.check_unguarded_fields(cursor)
+            elif kind == self.ck.CXX_FOR_RANGE_STMT:
+                self.check_unordered_iter(cursor, path)
+
+    # -- rule: raw-charge ----------------------------------------------
+
+    def check_raw_charge(self, cursor, path):
+        ref = cursor.referenced
+        if ref is None or ref.spelling not in RAW_CHARGE_METHODS:
+            return
+        parent = ref.semantic_parent
+        if parent is None or parent.spelling != "BudgetTracker":
+            return
+        rel = relpath(path)
+        if rel.endswith(RAW_CHARGE_ALLOWED_SUFFIXES):
+            return
+        self.report(
+            path, cursor.location.line, "raw-charge",
+            f"raw BudgetTracker::{ref.spelling}() outside the RAII layer; "
+            "hold tuples through TupleCharge / Charged<T> "
+            "(src/engine/charge.h) so the release is bound to the data's "
+            "lifetime")
+
+    # -- rule: unchecked-status ----------------------------------------
+
+    def unwrap(self, cursor):
+        while cursor.kind == self.ck.UNEXPOSED_EXPR:
+            children = list(cursor.get_children())
+            if len(children) != 1:
+                break
+            cursor = children[0]
+        return cursor
+
+    def check_unchecked_status(self, compound):
+        for child in compound.get_children():
+            expr = self.unwrap(child)
+            if expr.kind != self.ck.CALL_EXPR:
+                continue
+            spelling = expr.type.get_canonical().spelling
+            if spelling == "gmark::Status":
+                what = "gmark::Status"
+            elif spelling.startswith("gmark::Result<"):
+                what = spelling
+            else:
+                continue
+            loc = expr.location
+            if loc.file is None:
+                continue
+            path = os.path.abspath(loc.file.name)
+            if not self.in_scope(path):
+                continue
+            self.report(
+                path, loc.line, "unchecked-status",
+                f"discarded {what} return value; handle it, bind it, or "
+                "cast to (void) to document a deliberate discard")
+
+    # -- rule: unguarded-shared-field ----------------------------------
+
+    def field_type_spelling(self, field):
+        return strip_cvref(field.type.get_canonical().spelling)
+
+    def is_sync_type(self, spelling):
+        return (spelling in SYNC_EXACT_TYPES
+                or spelling.startswith(SYNC_TYPE_PREFIXES))
+
+    def field_is_protected(self, field, path):
+        lines = self.files.lines(path)
+        start, end = field.extent.start.line, field.extent.end.line
+        for i in range(start, min(end, len(lines)) + 1):
+            if "GUARDED_BY" in lines[i - 1]:
+                return True
+        # Upward scan: a `// SAFETY:` comment block speaks for the
+        # contiguous run of field declarations directly beneath it.
+        i = start - 1
+        while i >= 1:
+            line = lines[i - 1]
+            stripped = line.strip()
+            if stripped.startswith("//") or stripped.startswith("*") \
+                    or stripped.startswith("/*") or stripped.startswith("///"):
+                if "SAFETY:" in stripped:
+                    return True
+                i -= 1
+                continue
+            if self.SAFETY_STOP_RE.match(line):
+                return False
+            if stripped.endswith(";") or stripped.endswith(","):
+                i -= 1  # another declaration in the same run
+                continue
+            return False
+        return False
+
+    def check_unguarded_fields(self, class_cursor):
+        if not class_cursor.is_definition():
+            return
+        fields = [c for c in class_cursor.get_children()
+                  if c.kind == self.ck.FIELD_DECL]
+        if not fields:
+            return
+        has_mutex = any(
+            self.field_type_spelling(f) in MUTEX_EXACT_TYPES
+            for f in fields)
+        for field in fields:
+            spelling = self.field_type_spelling(field)
+            if self.is_sync_type(spelling):
+                continue
+            is_atomic = bool(ATOMIC_TYPE_RE.search(spelling))
+            if not (is_atomic or has_mutex):
+                continue
+            loc = field.location
+            if loc.file is None:
+                continue
+            path = os.path.abspath(loc.file.name)
+            if not self.in_scope(path):
+                continue
+            if self.field_is_protected(field, path):
+                continue
+            why = ("std::atomic member" if is_atomic
+                   else "member of a mutex-owning class")
+            self.report(
+                path, loc.line, "unguarded-shared-field",
+                f"{why} `{field.spelling}` has neither GUARDED_BY(mu) nor "
+                "a `// SAFETY:` comment stating why it needs no guard "
+                "(see CONTRIBUTING.md, concurrency rules)")
+
+    # -- rule: unordered-iter-ast --------------------------------------
+
+    def check_unordered_iter(self, for_range, path):
+        children = list(for_range.get_children())
+        if not children:
+            return
+        body = children[-1]
+        for child in children[:-1] if body.kind == self.ck.COMPOUND_STMT \
+                else children:
+            if child.kind == self.ck.VAR_DECL or child is body:
+                continue
+            spelling = child.type.get_canonical().spelling
+            if UNORDERED_TYPE_RE.search(spelling):
+                self.report(
+                    path, for_range.location.line, "unordered-iter-ast",
+                    "range-for over an unordered container (canonical "
+                    f"type: {strip_cvref(spelling)}); iteration order is "
+                    "a hash-seed artifact — sort first, or iterate an "
+                    "ordered view")
+                return
+
+
+# -- translation-unit sources ----------------------------------------------
+
+
+def parse_args_from_command(entry):
+    """compile_commands.json entry -> clang arg list (compiler, -c, -o
+    and the input file removed)."""
+    if "arguments" in entry:
+        argv = list(entry["arguments"])
+    else:
+        argv = shlex.split(entry["command"])
+    out = []
+    skip_next = False
+    src = os.path.basename(entry["file"])
+    for i, a in enumerate(argv):
+        if i == 0:  # compiler
+            continue
+        if skip_next:
+            skip_next = False
+            continue
+        if a in ("-c", "-pipe"):
+            continue
+        if a == "-o":
+            skip_next = True
+            continue
+        if os.path.basename(a) == src:
+            continue
+        out.append(a)
+    # Quiet: diagnostics are not this tool's output.
+    out.append("-Wno-everything")
+    return out
+
+
+def compile_db_units(build_dir, changed_only):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    try:
+        with open(db_path, encoding="utf-8") as f:
+            entries = json.load(f)
+    except OSError as e:
+        print(f"protocol_analyzer: cannot read {db_path}: {e} — "
+              "configure with CMake first", file=sys.stderr)
+        sys.exit(2)
+    wanted = None
+    if changed_only:
+        helper = os.path.join(REPO_ROOT, "tools", "lint", "changed_files.sh")
+        proc = subprocess.run([helper], capture_output=True, text=True)
+        if proc.returncode == 0:
+            wanted = {os.path.abspath(os.path.join(REPO_ROOT, line))
+                      for line in proc.stdout.splitlines() if line}
+            print(f"protocol_analyzer: --changed-only: "
+                  f"{len(wanted)} changed file(s)", file=sys.stderr)
+        else:
+            print("protocol_analyzer: no git base — analyzing all of src/",
+                  file=sys.stderr)
+    units = []
+    for entry in entries:
+        path = os.path.abspath(
+            os.path.join(entry.get("directory", "."), entry["file"]))
+        rel = relpath(path)
+        if not rel.startswith("src/") or not rel.endswith(".cc"):
+            continue
+        if wanted is not None and path not in wanted:
+            continue
+        units.append((path, parse_args_from_command(entry)))
+    return units
+
+
+def src_scope_filter(path):
+    return relpath(path).startswith("src/")
+
+
+def explicit_scope_filter(files):
+    wanted = {os.path.abspath(f) for f in files}
+    return lambda path: path in wanted
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="protocol_analyzer.py",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="*",
+                        help="files to analyze directly (fixture mode)")
+    parser.add_argument("-p", dest="build_dir", metavar="BUILD_DIR",
+                        help="analyze src/ TUs from "
+                             "BUILD_DIR/compile_commands.json")
+    parser.add_argument("--support-dir", metavar="DIR",
+                        help="include root for fixture mode")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="restrict -p mode to files reported by "
+                             "tools/lint/changed_files.sh")
+    parser.add_argument("--findings-out", metavar="PATH",
+                        help="also write findings to PATH")
+    parser.add_argument("--strict", action="store_true",
+                        help="missing libclang is an error (exit 2)")
+    parser.add_argument("--strict-skip", action="store_true",
+                        help="missing libclang exits 77 (ctest skip)")
+    args = parser.parse_args(argv[1:])
+
+    loaded, why = load_libclang()
+    if loaded is None:
+        print(f"protocol_analyzer: SKIP — {why}", file=sys.stderr)
+        if args.strict:
+            print("protocol_analyzer: --strict: libclang is required here "
+                  "(CI installs the pinned wheel)", file=sys.stderr)
+            return 2
+        return 77 if args.strict_skip else 0
+    cindex, index = loaded
+
+    units = []
+    if args.build_dir:
+        units.extend(compile_db_units(args.build_dir, args.changed_only))
+        scope = src_scope_filter
+    elif args.files:
+        scope = explicit_scope_filter(args.files)
+    else:
+        parser.error("pass -p BUILD_DIR or explicit files")
+    for f in args.files:
+        clang_args = ["-x", "c++", "-std=c++17"]
+        if args.support_dir:
+            clang_args += ["-I", args.support_dir]
+        units.append((os.path.abspath(f), clang_args))
+
+    analyzer = Analyzer(cindex, scope)
+    parsed = 0
+    for path, clang_args in units:
+        try:
+            tu = index.parse(path, args=clang_args)
+        except cindex.TranslationUnitLoadError as e:
+            print(f"protocol_analyzer: cannot parse {relpath(path)}: {e}",
+                  file=sys.stderr)
+            return 2
+        fatal = [d for d in tu.diagnostics if d.severity >= 4]
+        if fatal:
+            for d in fatal:
+                print(f"protocol_analyzer: {relpath(path)}: {d.spelling}",
+                      file=sys.stderr)
+            return 2
+        analyzer.analyze_tu(tu)
+        parsed += 1
+
+    findings = sorted(analyzer.findings.values(),
+                      key=lambda f: (f.path, f.line, f.rule))
+    for f in findings:
+        print(f)
+    if args.findings_out:
+        with open(args.findings_out, "w", encoding="utf-8") as out:
+            for f in findings:
+                out.write(str(f) + "\n")
+    label = "unit" if parsed == 1 else "units"
+    if findings:
+        print(f"protocol_analyzer: {len(findings)} finding(s) over "
+              f"{parsed} translation {label}", file=sys.stderr)
+        return 1
+    print(f"protocol_analyzer: clean ({parsed} translation {label})",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

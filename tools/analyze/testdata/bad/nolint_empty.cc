@@ -1,0 +1,15 @@
+// Fixture: a NOLINT-ANALYZE escape with no justification. The empty
+// escape must not suppress anything — it must itself be reported as
+// nolint-empty-reason (and only that: the would-be finding is folded
+// into it, mirroring the token lint's behavior).
+#include "decls.h"
+
+namespace gmark {
+
+Status Step();
+
+void Driver() {
+  Step();  // NOLINT-ANALYZE()
+}
+
+}  // namespace gmark

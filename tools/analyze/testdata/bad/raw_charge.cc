@@ -1,0 +1,17 @@
+// Fixture: the raw tuple-charge protocol outside the RAII layer — the
+// exact shape of the PR 5 under-count (release decoupled from the
+// data's lifetime). Both calls must be flagged as raw-charge; the
+// Status of ChargeTuples is consumed, so no unchecked-status rides
+// along.
+#include "decls.h"
+
+namespace gmark {
+
+unsigned long LeakyMaterialize(BudgetTracker* tracker) {
+  if (!tracker->ChargeTuples(20).ok()) return 0;
+  // ... build a 20-row copy, then hand the rows off ...
+  tracker->ReleaseTuples(20);
+  return 20;
+}
+
+}  // namespace gmark

@@ -1,0 +1,16 @@
+// Fixture: expression statements that silently discard Status /
+// Result<T> return values. The rule reads the call's resolved type, so
+// both the plain and the templated form must be flagged.
+#include "decls.h"
+
+namespace gmark {
+
+Status Step();
+Result<int> Compute();
+
+void Driver() {
+  Step();
+  Compute();
+}
+
+}  // namespace gmark

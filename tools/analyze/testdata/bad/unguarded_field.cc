@@ -1,0 +1,20 @@
+// Fixture: shared-state fields with no stated protection. items_ is a
+// plain member of a mutex-owning class with no GUARDED_BY; pending_ is
+// an atomic with no SAFETY comment. Both must be flagged; the Mutex
+// itself is a synchronization primitive and must not be.
+#include "decls.h"
+
+namespace gmark {
+
+class WorkQueue {
+ public:
+  void Push(int value);
+  int Drain();
+
+ private:
+  Mutex mu_;
+  std::vector<int> items_;
+  std::atomic<int> pending_;
+};
+
+}  // namespace gmark

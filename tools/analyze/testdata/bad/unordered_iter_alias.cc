@@ -1,0 +1,17 @@
+// Fixture: range-for over an unordered container behind a typedef
+// declared in ANOTHER file (support/aliases.h). The token-level lint
+// only resolves same-file aliases; the AST rule reads the canonical
+// type and must flag this.
+#include "aliases.h"
+
+namespace gmark {
+
+int SumValues(const NodeIndex& index) {
+  int total = 0;
+  for (const auto& entry : index) {
+    total += entry.second;
+  }
+  return total;
+}
+
+}  // namespace gmark

@@ -1,0 +1,23 @@
+// Fixture: every sanctioned way of consuming a Status / Result<T> —
+// bound to a variable, tested inline, returned, or explicitly
+// discarded with (void). None may be flagged.
+#include "decls.h"
+
+namespace gmark {
+
+Status Step();
+Result<int> Compute();
+
+int Driver() {
+  Status step = Step();
+  if (!step.ok()) return -1;
+  if (!Step().ok()) return -1;
+  Result<int> result = Compute();
+  if (!result.ok()) return -1;
+  (void)Step();  // Deliberate discard: documented by the cast.
+  return result.ValueOrDie();
+}
+
+Status Forward() { return Step(); }
+
+}  // namespace gmark

@@ -1,0 +1,21 @@
+// Allowlist mirror: a file whose path ends in engine/budget.h is the
+// sanctioned home of the raw charge protocol (the tracker itself), so
+// raw-charge must not fire here.
+#ifndef GMARK_TOOLS_ANALYZE_TESTDATA_GOOD_ENGINE_BUDGET_H_
+#define GMARK_TOOLS_ANALYZE_TESTDATA_GOOD_ENGINE_BUDGET_H_
+
+#include "decls.h"
+
+namespace gmark {
+
+inline Status ChargeBatch(BudgetTracker* tracker, unsigned long count) {
+  return tracker->ChargeTuples(count);
+}
+
+inline void ReleaseBatch(BudgetTracker* tracker, unsigned long count) {
+  tracker->ReleaseTuples(count);
+}
+
+}  // namespace gmark
+
+#endif  // GMARK_TOOLS_ANALYZE_TESTDATA_GOOD_ENGINE_BUDGET_H_

@@ -1,0 +1,28 @@
+// Allowlist mirror: a file whose path ends in engine/charge.h is the
+// RAII layer itself — the one place raw ChargeTuples/ReleaseTuples
+// calls are legal, because this is where they are encapsulated.
+#ifndef GMARK_TOOLS_ANALYZE_TESTDATA_GOOD_ENGINE_CHARGE_H_
+#define GMARK_TOOLS_ANALYZE_TESTDATA_GOOD_ENGINE_CHARGE_H_
+
+#include "decls.h"
+
+namespace gmark {
+
+class ScopedCharge {
+ public:
+  explicit ScopedCharge(BudgetTracker* tracker) : tracker_(tracker) {}
+  ~ScopedCharge() { tracker_->ReleaseTuples(count_); }
+
+  Status Charge(unsigned long count) {
+    count_ += count;
+    return tracker_->ChargeTuples(count);
+  }
+
+ private:
+  BudgetTracker* tracker_;
+  unsigned long count_ = 0;
+};
+
+}  // namespace gmark
+
+#endif  // GMARK_TOOLS_ANALYZE_TESTDATA_GOOD_ENGINE_CHARGE_H_

@@ -1,0 +1,25 @@
+// Fixture: shared-state fields with their protection stated — either a
+// GUARDED_BY annotation or a `// SAFETY:` block covering the
+// contiguous run of declarations beneath it. Synchronization
+// primitives themselves need no cover.
+#include "decls.h"
+
+namespace gmark {
+
+class WorkQueue {
+ public:
+  void Push(int value);
+  int Drain();
+
+ private:
+  Mutex mu_;
+  std::vector<int> items_ GUARDED_BY(mu_);
+  CondVar ready_cv_;
+  // SAFETY: single-writer counters — only the owning worker updates
+  // them (relaxed RMW); readers run after the pool joins and tolerate
+  // stale values in-flight.
+  std::atomic<int> pending_;
+  std::atomic<int> drained_;
+};
+
+}  // namespace gmark

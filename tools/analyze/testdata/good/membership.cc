@@ -1,0 +1,19 @@
+// Fixture: the token rule's historical false-positive class —
+// find()/end() membership tests against unordered containers — plus an
+// ordinary vector range-for. The AST rule inspects only a range-for's
+// range type, so none of this can be flagged.
+#include "decls.h"
+
+namespace gmark {
+
+bool Contains(const std::unordered_set<int>& seen, int value) {
+  return seen.find(value) != seen.end();
+}
+
+int Sum(const std::vector<int>& values) {
+  int total = 0;
+  for (int v : values) total += v;
+  return total;
+}
+
+}  // namespace gmark

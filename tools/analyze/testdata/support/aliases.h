@@ -1,0 +1,16 @@
+// Cross-file alias for the unordered-iter-ast fixture: the alias lives
+// here, the iteration lives in bad/unordered_iter_alias.cc — exactly
+// the shape the token-level lint (same-file declarations only) cannot
+// see and the type-resolved rule must.
+#ifndef GMARK_TOOLS_ANALYZE_TESTDATA_SUPPORT_ALIASES_H_
+#define GMARK_TOOLS_ANALYZE_TESTDATA_SUPPORT_ALIASES_H_
+
+#include "decls.h"
+
+namespace gmark {
+
+using NodeIndex = std::unordered_map<unsigned long, int>;
+
+}  // namespace gmark
+
+#endif  // GMARK_TOOLS_ANALYZE_TESTDATA_SUPPORT_ALIASES_H_

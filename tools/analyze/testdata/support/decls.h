@@ -1,0 +1,115 @@
+// Hermetic declarations for the analyzer fixtures: just enough shape
+// for libclang to type-resolve the constructs the rules inspect,
+// without depending on a real standard library or the gMark headers.
+// The canonical spellings the analyzer keys on (std::unordered_map<...>,
+// std::atomic<...>, gmark::Status, gmark::BudgetTracker, gmark::Mutex)
+// come out identical to the real tree's.
+#ifndef GMARK_TOOLS_ANALYZE_TESTDATA_SUPPORT_DECLS_H_
+#define GMARK_TOOLS_ANALYZE_TESTDATA_SUPPORT_DECLS_H_
+
+namespace std {
+
+template <typename A, typename B>
+struct pair {
+  A first;
+  B second;
+};
+
+template <typename K, typename V>
+class unordered_map {
+ public:
+  using value_type = pair<const K, V>;
+  struct iterator {
+    value_type& operator*();
+    iterator& operator++();
+    bool operator!=(const iterator& other) const;
+  };
+  iterator begin();
+  iterator end();
+  iterator find(const K& key);
+  unsigned long size() const;
+};
+
+template <typename K>
+class unordered_set {
+ public:
+  struct iterator {
+    const K& operator*();
+    iterator& operator++();
+    bool operator!=(const iterator& other) const;
+  };
+  iterator begin();
+  iterator end();
+  iterator find(const K& key) const;
+};
+
+template <typename T>
+class vector {
+ public:
+  T* begin();
+  T* end();
+  const T* begin() const;
+  const T* end() const;
+  void push_back(const T& value);
+  unsigned long size() const;
+};
+
+template <typename T>
+class atomic {
+ public:
+  T load() const;
+  void store(T value);
+};
+
+class mutex {};
+class condition_variable {};
+
+}  // namespace std
+
+// The annotation macro compiles away exactly like the real one
+// (util/thread_annotations.h); the analyzer reads it from source text.
+#define GUARDED_BY(x)
+
+namespace gmark {
+
+class Status {
+ public:
+  bool ok() const;
+  bool IsResourceExhausted() const;
+};
+
+template <typename T>
+class Result {
+ public:
+  bool ok() const;
+  Status status() const;
+  T& ValueOrDie();
+};
+
+class BudgetTracker {
+ public:
+  Status ChargeTuples(unsigned long count);
+  void ReleaseTuples(unsigned long count);
+  Status CheckTime();
+};
+
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+};
+
+class CondVar {
+ public:
+  void Wait(MutexLock& lock);
+  void NotifyAll();
+};
+
+}  // namespace gmark
+
+#endif  // GMARK_TOOLS_ANALYZE_TESTDATA_SUPPORT_DECLS_H_

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Shared changed-files detection for the incremental static gates
+# (tools/lint/run_clang_tidy.sh and tools/analyze/protocol_analyzer.py
+# --changed-only): one definition of "what changed", so the two tools
+# can never disagree about the diff base.
+#
+# Usage: tools/lint/changed_files.sh [BASE_REF] [PATHSPEC]
+#   BASE_REF   git ref to diff against (default: origin/main, falling
+#              back to main). Pass "" to take the default.
+#   PATHSPEC   git pathspec for the files of interest
+#              (default: 'src/*.cc')
+#
+# Prints one path per line (repo-relative, existing files only):
+# files changed vs BASE_REF plus untracked files matching PATHSPEC.
+# Prints nothing and exits 3 when no git base is available — callers
+# fall back to full-tree mode.
+
+set -u
+
+repo_root="$(cd "$(dirname "$0")/../.." && pwd)"
+base_ref="${1:-}"
+pathspec="${2:-src/*.cc}"
+
+cd "$repo_root"
+
+if ! git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  echo "changed_files: not a git work tree" >&2
+  exit 3
+fi
+if [ -z "$base_ref" ]; then
+  for candidate in origin/main main; do
+    if git rev-parse --verify --quiet "$candidate" >/dev/null; then
+      base_ref="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$base_ref" ]; then
+  echo "changed_files: no usable base ref" >&2
+  exit 3
+fi
+
+echo "changed_files: diffing against $base_ref" >&2
+# Changed + untracked files matching the pathspec, still on disk.
+(git diff --name-only "$base_ref" -- "$pathspec";
+ git ls-files --others --exclude-standard -- "$pathspec") \
+  | sort -u | while read -r f; do
+      [ -f "$f" ] && echo "$f"
+    done
+exit 0

@@ -31,26 +31,10 @@ fi
 
 cd "$repo_root"
 
-files=""
-if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
-  if [ -z "$base_ref" ]; then
-    for candidate in origin/main main; do
-      if git rev-parse --verify --quiet "$candidate" >/dev/null; then
-        base_ref="$candidate"
-        break
-      fi
-    done
-  fi
-  if [ -n "$base_ref" ]; then
-    # Changed + untracked sources, .cc TUs only, still on disk.
-    files="$( (git diff --name-only "$base_ref" -- 'src/*.cc';
-               git ls-files --others --exclude-standard -- 'src/*.cc') \
-              | sort -u | while read -r f; do
-                  [ -f "$f" ] && echo "$f"
-                done)"
-    echo "run_clang_tidy: diffing against $base_ref" >&2
-  fi
-fi
+# Changed + untracked sources, .cc TUs only — one shared definition of
+# "changed" for every incremental gate (see changed_files.sh).
+files="$("$repo_root/tools/lint/changed_files.sh" "$base_ref" 'src/*.cc')" \
+  || files=""
 if [ -z "$files" ]; then
   echo "run_clang_tidy: no git base — checking all of src/" >&2
   files="$(find src -name '*.cc' | sort)"
