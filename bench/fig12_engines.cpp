@@ -7,8 +7,16 @@
 // average); queries carry the count(distinct) aggregate; each cell
 // averages the class's queries; "-" marks failures (budget exhausted),
 // which the paper also observes.
+//
+// `--threads k` (k > 1) appends a per-engine parallel-speedup section:
+// each engine re-runs the Len workload on the largest graph with a
+// k-worker frontier-parallel evaluator, counts checked identical to the
+// serial run (divergence exits non-zero). Cypher's DFS is inherently
+// sequential and is expected to show ~1x.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <vector>
 
@@ -16,6 +24,7 @@
 #include "bench_util.h"
 #include "core/use_cases.h"
 #include "graph/generator.h"
+#include "parallel/executor.h"
 #include "workload/presets.h"
 #include "workload/query_generator.h"
 
@@ -47,9 +56,84 @@ struct Cell {
   }
 };
 
+/// Per-engine serial-vs-parallel rerun of one workload on one graph:
+/// total warm seconds across the queries each path completed, counts
+/// checked identical per query. Returns false on count divergence.
+bool RunEngineSpeedup(const Graph& graph, const Workload& workload,
+                      const ResourceBudget& budget,
+                      const TimingProtocol& protocol, int threads) {
+  std::printf("\n--- parallel evaluation speedup (Len workload, largest "
+              "graph, k=%d) ---\n",
+              threads);
+  Executor executor(threads);
+  EvalOptions opts;
+  opts.executor = &executor;
+  bool ok = true;
+  for (EngineKind kind : AllEngineKinds()) {
+    auto serial_engine = MakeEngine(kind);
+    auto parallel_engine = MakeEngine(kind, opts);
+    double serial_seconds = 0.0, parallel_seconds = 0.0;
+    int ok_runs = 0, failures = 0;
+    for (const GeneratedQuery& gq : workload.queries) {
+      TimingResult serial =
+          TimeQuery(*serial_engine, graph, gq.query, budget, protocol);
+      TimingResult parallel =
+          TimeQuery(*parallel_engine, graph, gq.query, budget, protocol);
+      if (serial.ok() != parallel.ok()) {
+        // Budget kills are timing-dependent near the ceiling; a
+        // serial/parallel disagreement on *whether* a query fits the
+        // budget is not a correctness failure, so skip, don't gate.
+        ++failures;
+        continue;
+      }
+      if (!serial.ok()) {
+        ++failures;
+        continue;
+      }
+      if (serial.count != parallel.count) {
+        std::fprintf(stderr,
+                     "FAIL: %s engine count diverged at k=%d (%llu serial, "
+                     "%llu parallel)\n",
+                     EngineKindCode(kind), threads,
+                     static_cast<unsigned long long>(serial.count),
+                     static_cast<unsigned long long>(parallel.count));
+        ok = false;
+        continue;
+      }
+      serial_seconds += serial.seconds;
+      parallel_seconds += parallel.seconds;
+      ++ok_runs;
+    }
+    if (ok_runs > 0 && parallel_seconds > 0.0) {
+      std::printf("  %-8s serial %8.3fs  parallel %8.3fs  speedup %5.2fx"
+                  "  (%d queries%s%s)\n",
+                  EngineKindCode(kind), serial_seconds, parallel_seconds,
+                  serial_seconds / parallel_seconds, ok_runs,
+                  failures > 0 ? ", some failed in budget" : "",
+                  kind == EngineKind::kCypher ? "; DFS is serial" : "");
+    } else {
+      std::printf("  %-8s (no query completed within budget)\n",
+                  EngineKindCode(kind));
+    }
+  }
+  return ok;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int eval_threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      eval_threads = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: fig12_engines [--threads k]\n"
+                   "  --threads k  append per-engine parallel speedup rows "
+                   "(k evaluation workers)\n");
+      return 2;
+    }
+  }
   bench::PrintHeader(
       "Fig. 12: engine comparison on diverse workloads (Bib)",
       "paper Fig. 12(a) constant, (b) linear, (c) quadratic");
@@ -139,5 +223,16 @@ int main() {
       "expected shape (paper): P fastest on constant and on small linear;\n"
       "S overtakes on larger linear and on quadratic; G slowest/deviating;\n"
       "quadratic panel roughly an order of magnitude above the others.\n");
+
+  if (eval_threads > 1) {
+    auto len_workload = generator.Generate(
+        MakePresetWorkload(WorkloadPreset::kLen, num_queries, 19));
+    if (len_workload.ok() &&
+        !RunEngineSpeedup(graphs.back(), *len_workload, budget, protocol,
+                          eval_threads)) {
+      std::fprintf(stderr, "fig12_engines: parallel identity check FAILED\n");
+      return 1;
+    }
+  }
   return 0;
 }

@@ -57,6 +57,7 @@
 #include "graph/graph_io.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/executor.h"
 #include "parallel/parallel_generator.h"
 #include "graph/stats.h"
 #include "query/query_xml.h"
@@ -77,11 +78,16 @@ int Usage(const char* argv0) {
       "          [-w workload-config.xml] [-g graph.out] [--format nt|csv]\n"
       "          [-q workload.xml] [-o query-dir] [--threads k]\n"
       "          [--spill-dir DIR] [--spill-threshold BYTES] [--stats]\n"
-      "          [--evaluate CODES] [--metrics-json FILE] [--trace-json FILE]\n"
+      "          [--evaluate CODES] [--eval-threads k]\n"
+      "          [--metrics-json FILE] [--trace-json FILE]\n"
       "\n"
       "  --threads k            parallel graph and workload generation\n"
       "                         (0 = all cores); output is byte-identical\n"
       "                         at any thread count\n"
+      "  --eval-threads k       parallel query evaluation for --evaluate\n"
+      "                         (0 = all cores, default 1); counts and\n"
+      "                         profiles are byte-identical at any thread\n"
+      "                         count\n"
       "  --spill-dir DIR        stream edge shards through per-shard temp\n"
       "                         files under DIR (bounded memory; implies\n"
       "                         the parallel generator)\n"
@@ -149,6 +155,8 @@ int main(int argc, char** argv) {
   // any explicit value — or any spill flag — routes generation through
   // src/parallel/.
   int threads = -1;
+  // Intra-query evaluation threads for --evaluate (1 = serial).
+  int eval_threads = 1;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -201,6 +209,12 @@ int main(int argc, char** argv) {
       auto parsed = ParseInt(v);
       if (!parsed.ok() || parsed.ValueOrDie() < 0) return Usage(argv[0]);
       threads = static_cast<int>(parsed.ValueOrDie());
+    } else if (arg == "--eval-threads") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      auto parsed = ParseInt(v);
+      if (!parsed.ok() || parsed.ValueOrDie() < 0) return Usage(argv[0]);
+      eval_threads = static_cast<int>(parsed.ValueOrDie());
     } else if (arg == "--format") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -426,14 +440,21 @@ int main(int argc, char** argv) {
     const ResourceBudget budget = ResourceBudget::Limited(5.0, 20'000'000);
     TimingProtocol protocol;
     protocol.warm_runs = 1;
-    std::printf("engine evaluation (budget: %.0fs / %zu tuples):\n",
-                budget.timeout_seconds, budget.max_tuples);
+    // One executor for every engine run; counts/profiles are identical
+    // at any --eval-threads value (the identity tests pin this).
+    Executor eval_executor(eval_threads);
+    EvalOptions eval_opts;
+    eval_opts.executor = &eval_executor;
+    std::printf("engine evaluation (budget: %.0fs / %zu tuples, %d eval %s):\n",
+                budget.timeout_seconds, budget.max_tuples,
+                eval_executor.workers(),
+                eval_executor.workers() == 1 ? "thread" : "threads");
     for (char code : evaluate_codes) {
       const EngineKind kind = code == 'P'   ? EngineKind::kRelational
                               : code == 'G' ? EngineKind::kCypher
                               : code == 'S' ? EngineKind::kSparql
                                             : EngineKind::kDatalog;
-      auto engine = MakeEngine(kind);
+      auto engine = MakeEngine(kind, eval_opts);
       for (const GeneratedQuery& gq : workload->queries) {
         TimingResult r =
             TimeQuery(*engine, *indexed, gq.query, budget, protocol);

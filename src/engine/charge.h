@@ -37,13 +37,30 @@ namespace gmark {
 /// tracker's scope.
 ///
 /// SAFETY: same single-writer contract as the BudgetTracker it wraps —
-/// guards belong to one evaluation thread.
+/// guards belong to the one thread that owns their tracker. In the
+/// frontier-parallel evaluator that means a guard over a
+/// ConcurrentBudgetScope worker tracker lives and dies on that worker;
+/// charges that outlive the parallel section are Disarm()ed onto the
+/// worker tracker, folded into the base tracker by the scope, and
+/// re-guarded on the base via Assume().
 class TupleCharge {
  public:
   /// \brief Disarmed guard: holds no tracker and no charge.
   TupleCharge() = default;
   /// \brief Armed guard with zero charge against `budget`.
   explicit TupleCharge(BudgetTracker* budget) : budget_(budget) {}
+
+  /// \brief Guard over `count` tuples ALREADY charged on `budget` —
+  /// the inverse of Disarm(), and the only way charges cross a
+  /// ConcurrentBudgetScope fold without leaking: the scope's Fold()
+  /// moves the workers' outstanding balances onto the base tracker and
+  /// returns the total, which the caller immediately re-guards here so
+  /// the unwind path still releases exactly what is charged.
+  static TupleCharge Assume(BudgetTracker* budget, size_t count) {
+    TupleCharge charge(budget);
+    charge.count_ = count;
+    return charge;
+  }
 
   TupleCharge(TupleCharge&& other) noexcept
       : budget_(other.budget_), count_(other.count_) {

@@ -30,6 +30,8 @@ namespace {
 /// Shared join/project/union pipeline over per-conjunct relations.
 class MaterializingEngine : public QueryEngine {
  public:
+  explicit MaterializingEngine(EvalOptions opts) : opts_(opts) {}
+
   Result<uint64_t> Evaluate(const Graph& graph, const Query& query,
                             const ResourceBudget& budget_spec,
                             EvalContext* ctx = nullptr) const override {
@@ -103,11 +105,20 @@ class MaterializingEngine : public QueryEngine {
                                              BudgetTracker* budget,
                                              EvalProfile* profile,
                                              size_t conjunct_index) const = 0;
+
+  /// Intra-query parallelism knobs; strategies that can fan out
+  /// (the S engine's per-source BFS) pass them to their evaluator.
+  const EvalOptions& options() const { return opts_; }
+
+ private:
+  EvalOptions opts_;
 };
 
 /// P: hash joins with bag-semantics intermediates; naive recursion.
 class RelationalEngine : public MaterializingEngine {
  public:
+  using MaterializingEngine::MaterializingEngine;
+
   EngineKind kind() const override { return EngineKind::kRelational; }
   std::string description() const override {
     return "relational engine: SQL:1999 linear-recursive views, full "
@@ -141,6 +152,8 @@ class RelationalEngine : public MaterializingEngine {
 /// D: set-semantics relations everywhere; semi-naive recursion.
 class DatalogEngine : public MaterializingEngine {
  public:
+  using MaterializingEngine::MaterializingEngine;
+
   EngineKind kind() const override { return EngineKind::kDatalog; }
   std::string description() const override {
     return "Datalog engine: bottom-up semi-naive evaluation with delta "
@@ -170,6 +183,8 @@ class DatalogEngine : public MaterializingEngine {
 /// S: W3C ALP property-path evaluation (per-source BFS) per conjunct.
 class SparqlEngine : public MaterializingEngine {
  public:
+  using MaterializingEngine::MaterializingEngine;
+
   EngineKind kind() const override { return EngineKind::kSparql; }
   std::string description() const override {
     return "SPARQL engine: property paths via the ALP procedure "
@@ -182,7 +197,10 @@ class SparqlEngine : public MaterializingEngine {
                                      EvalProfile* profile,
                                      size_t /*conjunct_index*/) const override {
     GMARK_ASSIGN_OR_RETURN(Nfa nfa, Nfa::FromRegex(c.expr));
-    RpqEvaluator rpq(&graph);
+    // The ALP per-source BFS is the one strategy with an embarrassing
+    // source loop — it chunks over the executor; results stay
+    // byte-identical (see evaluator.h).
+    RpqEvaluator rpq(&graph, options());
     return rpq.MaterializePairs(nfa, budget, profile);
   }
 };
@@ -191,6 +209,11 @@ class SparqlEngine : public MaterializingEngine {
 /// isomorphism; variable-length patterns lose inverse/concatenation.
 class CypherEngine : public QueryEngine {
  public:
+  /// The DFS enumeration shares bindings and the used-edge set across
+  /// the whole match tree, so it is inherently sequential; the options
+  /// are accepted for interface uniformity and ignored.
+  explicit CypherEngine(EvalOptions) {}
+
   EngineKind kind() const override { return EngineKind::kCypher; }
   std::string description() const override {
     return "openCypher engine: DFS enumeration, relationship-isomorphic "
@@ -383,15 +406,20 @@ class CypherEngine : public QueryEngine {
 }  // namespace
 
 std::unique_ptr<QueryEngine> MakeEngine(EngineKind kind) {
+  return MakeEngine(kind, EvalOptions{});
+}
+
+std::unique_ptr<QueryEngine> MakeEngine(EngineKind kind,
+                                        const EvalOptions& opts) {
   switch (kind) {
     case EngineKind::kRelational:
-      return std::make_unique<RelationalEngine>();
+      return std::make_unique<RelationalEngine>(opts);
     case EngineKind::kSparql:
-      return std::make_unique<SparqlEngine>();
+      return std::make_unique<SparqlEngine>(opts);
     case EngineKind::kCypher:
-      return std::make_unique<CypherEngine>();
+      return std::make_unique<CypherEngine>(opts);
     case EngineKind::kDatalog:
-      return std::make_unique<DatalogEngine>();
+      return std::make_unique<DatalogEngine>(opts);
   }
   return nullptr;
 }

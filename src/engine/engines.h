@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "engine/budget.h"
+#include "engine/eval_options.h"
 #include "graph/graph.h"
 #include "obs/eval_profile.h"
 #include "query/query.h"
@@ -59,8 +60,16 @@ class QueryEngine {
                                     EvalContext* ctx = nullptr) const = 0;
 };
 
-/// \brief Instantiate a simulator.
+/// \brief Instantiate a simulator with serial evaluation.
 std::unique_ptr<QueryEngine> MakeEngine(EngineKind kind);
+
+/// \brief Instantiate a simulator that may parallelize within a query
+/// per `opts` (the S engine's per-source BFS chunks over the executor;
+/// the other strategies are inherently sequential and ignore it).
+/// Results are byte-identical to the serial engine at any thread
+/// count; `opts.executor` must outlive the engine's evaluations.
+std::unique_ptr<QueryEngine> MakeEngine(EngineKind kind,
+                                        const EvalOptions& opts);
 
 }  // namespace gmark
 

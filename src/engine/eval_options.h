@@ -1,0 +1,33 @@
+// Evaluation-side execution knobs, threaded from the CLI / benches
+// through MakeEngine and the evaluators.
+
+#ifndef GMARK_ENGINE_EVAL_OPTIONS_H_
+#define GMARK_ENGINE_EVAL_OPTIONS_H_
+
+#include <cstddef>
+
+namespace gmark {
+
+class Executor;
+
+/// \brief How an evaluation may use threads. Results are byte-identical
+/// at every setting — parallelism only reorders which thread runs which
+/// source chunk; chunk results merge in source order and the budget
+/// fold is deterministic (see ConcurrentBudgetScope).
+struct EvalOptions {
+  /// Shared executor for intra-query parallelism; null (or an executor
+  /// with a single worker) evaluates serially. Not owned; must outlive
+  /// every evaluation using it. Evaluations must not be started from
+  /// inside one of this executor's own tasks (the pool forbids nested
+  /// Submit).
+  Executor* executor = nullptr;
+
+  /// Sources per parallel chunk; 0 picks a size that gives each worker
+  /// several chunks to balance skew (dense sources cost arbitrarily
+  /// more than empty ones). Any value yields identical results.
+  size_t chunk_sources = 0;
+};
+
+}  // namespace gmark
+
+#endif  // GMARK_ENGINE_EVAL_OPTIONS_H_

@@ -1,36 +1,16 @@
 #include "engine/evaluator.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "obs/metrics.h"
+#include "parallel/executor.h"
+#include "parallel/thread_pool.h"
 #include "selectivity/estimator.h"  // AsChain
 
 namespace gmark {
 
 namespace {
-
-/// Dense bit set with O(touched) reset, for reuse across BFS sources.
-class ResettableBitset {
- public:
-  explicit ResettableBitset(size_t bits) : words_((bits + 63) / 64, 0) {}
-
-  bool TestAndSet(size_t i) {
-    size_t w = i >> 6;
-    uint64_t mask = uint64_t{1} << (i & 63);
-    if (words_[w] & mask) return true;
-    if (words_[w] == 0) touched_.push_back(w);
-    words_[w] |= mask;
-    return false;
-  }
-
-  void Reset() {
-    for (size_t w : touched_) words_[w] = 0;
-    touched_.clear();
-  }
-
- private:
-  std::vector<uint64_t> words_;
-  std::vector<size_t> touched_;
-};
 
 /// Flushes locally accumulated BFS statistics into an EvalProfile on
 /// every exit path — a query killed by its budget mid-traversal is
@@ -49,55 +29,93 @@ struct BfsStatsFlush {
   }
 };
 
-}  // namespace
+/// Chunk-local variant: flushes into the chunk's private stats shard
+/// (merged into the profile later, in chunk order) on every exit path.
+struct BfsShardFlush {
+  BfsStatsShard* shard;
+  const uint64_t* pops;
+  const uint64_t* peak_frontier;
 
-template <typename Emit>
-Status RpqEvaluator::ForEachSource(const Nfa& nfa, BudgetTracker* budget,
-                                   EvalProfile* profile, Emit&& emit) const {
-  const size_t n = static_cast<size_t>(graph_->num_nodes());
+  ~BfsShardFlush() {
+    shard->pops += *pops;
+    if (*peak_frontier > shard->peak_frontier) {
+      shard->peak_frontier = *peak_frontier;
+    }
+  }
+};
+
+/// One chunk's private output: its sources' accepted-pair count (and
+/// the pairs themselves when materializing), its BFS statistics, and
+/// the tuple charge it left parked on its worker tracker. Written by
+/// exactly one task; read by the merging thread after Executor::Wait().
+struct SourceChunk {
+  uint64_t count = 0;
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  BfsStatsShard stats;
+  size_t charged = 0;
+};
+
+/// Evaluates sources [begin, end) against `nfa`, charging each source's
+/// accepted targets on `budget` (the chunk's tracker). On success the
+/// accumulated charge is disarmed into out->charged — it stays on the
+/// tracker so the cross-chunk peak reproduces the serial evaluator's —
+/// and the caller re-guards it after the budget fold. On failure the
+/// chunk's own guard releases its charge before returning; statistics
+/// reach out->stats on every exit path.
+Status RunSourceChunk(const Graph& graph, const Nfa& nfa,
+                      const std::vector<NfaTransition>& start_transitions,
+                      size_t begin, size_t end, bool materialize,
+                      EvalScratch& scratch, BudgetTracker* budget,
+                      SourceChunk* out) {
+  const size_t n = static_cast<size_t>(graph.num_nodes());
   const size_t k = nfa.state_count();
   const uint32_t accept = nfa.accept();
   const bool epsilon = nfa.AcceptsEpsilon();
+  scratch.Prepare(n, k);
+  ResettableBitset& visited = scratch.visited;
+  ResettableBitset& accepted_set = scratch.accepted;
+  std::vector<uint64_t>& stack = scratch.stack;
+  std::vector<NodeId>& targets = scratch.targets;
 
   // A node can begin a non-empty match only if it has at least one edge
-  // matching a transition out of the start state.
+  // matching a transition out of the start state (hoisted list — built
+  // once per query, not re-walked per source).
   auto has_start_edge = [&](NodeId v) {
-    for (const NfaTransition& t : nfa.TransitionsFrom(nfa.start())) {
+    for (const NfaTransition& t : start_transitions) {
       size_t deg = t.symbol.inverse
-                       ? graph_->InNeighbors(t.symbol.predicate, v).size()
-                       : graph_->OutNeighbors(t.symbol.predicate, v).size();
+                       ? graph.InNeighbors(t.symbol.predicate, v).size()
+                       : graph.OutNeighbors(t.symbol.predicate, v).size();
       if (deg > 0) return true;
     }
     return false;
   };
 
-  ResettableBitset visited(n * k);
-  ResettableBitset accepted(n);
-  std::vector<uint64_t> stack;
-  std::vector<NodeId> targets;
+  TupleCharge charge(budget);
   // Amortized wall-clock enforcement inside the per-source BFS: the
   // per-source check alone would let one dense source overshoot the
   // timeout unboundedly (its whole product-graph traversal runs
-  // between two checks).
+  // between two checks). One checker per chunk — time checkers are
+  // single-owner like the trackers they wrap.
   PeriodicTimeCheck time_check(budget);
   // Profile statistics accumulate in locals (registers) and flush once
   // on scope exit, so a null or live profile costs the BFS loop nothing.
   uint64_t pops = 0;
   uint64_t peak_frontier = 0;
-  BfsStatsFlush flush{profile, &pops, &peak_frontier};
+  BfsShardFlush flush{&out->stats, &pops, &peak_frontier};
 
-  for (NodeId source = 0; source < n; ++source) {
+  for (size_t si = begin; si < end; ++si) {
+    const NodeId source = static_cast<NodeId>(si);
     const bool starts = has_start_edge(source);
     if (!starts && !epsilon) continue;
     GMARK_RETURN_NOT_OK(budget->CheckTime());
 
     targets.clear();
     visited.Reset();
-    accepted.Reset();
+    accepted_set.Reset();
     if (epsilon) {
       // The empty word matches every node with itself (W3C ALP
       // zero-length path semantics).
-      accepted.TestAndSet(source);
+      accepted_set.TestAndSet(source);
       targets.push_back(source);
     }
     if (starts) {
@@ -113,14 +131,14 @@ Status RpqEvaluator::ForEachSource(const Nfa& nfa, BudgetTracker* budget,
         ++pops;
         NodeId u = static_cast<NodeId>(packed / k);
         uint32_t q = static_cast<uint32_t>(packed % k);
-        if (q == accept && !accepted.TestAndSet(u)) {
+        if (q == accept && !accepted_set.TestAndSet(u)) {
           targets.push_back(u);
         }
         for (const NfaTransition& t : nfa.TransitionsFrom(q)) {
           auto neighbors =
               t.symbol.inverse
-                  ? graph_->InNeighbors(t.symbol.predicate, u)
-                  : graph_->OutNeighbors(t.symbol.predicate, u);
+                  ? graph.InNeighbors(t.symbol.predicate, u)
+                  : graph.OutNeighbors(t.symbol.predicate, u);
           for (NodeId w : neighbors) {
             uint64_t next = static_cast<uint64_t>(w) * k + t.to;
             if (!visited.TestAndSet(next)) stack.push_back(next);
@@ -129,52 +147,170 @@ Status RpqEvaluator::ForEachSource(const Nfa& nfa, BudgetTracker* budget,
         if (stack.size() > peak_frontier) peak_frontier = stack.size();
       }
     }
-    GMARK_RETURN_NOT_OK(emit(source, targets));
+    out->count += targets.size();
+    GMARK_RETURN_NOT_OK(charge.Charge(targets.size()));
+    if (materialize) {
+      for (NodeId t : targets) out->pairs.emplace_back(source, t);
+    }
   }
+  out->charged = charge.Disarm();
   return Status::OK();
 }
+
+/// Post-merge metric update, main thread only — the hot loops touch no
+/// registry; one registration lookup per query is noise.
+void RecordEvalMetrics(uint64_t sources, size_t chunks,
+                       const BfsStatsShard& stats) {
+  MetricRegistry* metrics = GlobalMetrics();
+  if (metrics == nullptr) return;
+  metrics->Add(metrics->Counter("eval.sources"), sources);
+  metrics->Add(metrics->Counter("eval.chunks"), chunks);
+  metrics->Add(metrics->Counter("eval.bfs_pops"), stats.pops);
+  metrics->GaugeMax(metrics->Gauge("eval.peak_frontier"),
+                    stats.peak_frontier);
+}
+
+/// Merged result of the per-source driver: the total accepted-pair
+/// count, the pairs in source order (when materializing), and the guard
+/// over every tuple still charged on the caller's tracker.
+struct MergedSources {
+  uint64_t count = 0;
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  TupleCharge charge;
+};
+
+/// Shared driver behind CountPairs/MaterializePairs: runs every source
+/// through the product-graph BFS, serially or chunked over
+/// opts.executor. Chunk results merge in source order and per-worker
+/// budget charges fold deterministically, so the returned value — and
+/// the tracker/profile accounting on the success path — is identical at
+/// any thread or chunk count.
+Result<MergedSources> ForEachSource(const Graph& graph, const Nfa& nfa,
+                                    const EvalOptions& opts, bool materialize,
+                                    BudgetTracker* budget,
+                                    EvalProfile* profile) {
+  const size_t n = static_cast<size_t>(graph.num_nodes());
+  const auto start_span = nfa.TransitionsFrom(nfa.start());
+  const std::vector<NfaTransition> start_transitions(start_span.begin(),
+                                                     start_span.end());
+
+  const int workers = opts.executor != nullptr ? opts.executor->workers() : 1;
+  size_t chunk = opts.chunk_sources;
+  if (chunk == 0) {
+    // Several chunks per worker so one dense chunk cannot serialize the
+    // tail; floor of 16 keeps tiny graphs from drowning in task
+    // overhead. Chunking never affects results, only load balance.
+    chunk = std::max<size_t>(16, n / (8 * static_cast<size_t>(workers)));
+  }
+  const size_t num_chunks = n == 0 ? 0 : (n + chunk - 1) / chunk;
+
+  MergedSources merged;
+  if (workers <= 1 || num_chunks <= 1) {
+    EvalScratch scratch;
+    SourceChunk out;
+    Status st = RunSourceChunk(graph, nfa, start_transitions, 0, n,
+                               materialize, scratch, budget, &out);
+    if (profile != nullptr) profile->AddBfs(out.stats);
+    RecordEvalMetrics(n, num_chunks, out.stats);
+    GMARK_RETURN_NOT_OK(st);
+    merged.count = out.count;
+    merged.pairs = std::move(out.pairs);
+    merged.charge = TupleCharge::Assume(budget, out.charged);
+    return merged;
+  }
+
+  // Parallel: one task per chunk; each task charges the tracker of the
+  // worker it lands on (ThreadPool::CurrentWorkerId(): pool workers are
+  // 1..workers, so the scope holds workers+1 trackers) and reuses that
+  // worker's scratch. Chunks are independent, so results depend only on
+  // the [begin, end) partition — never on scheduling.
+  ConcurrentBudgetScope scope(budget, workers + 1);
+  std::vector<SourceChunk> chunks(num_chunks);
+  std::vector<EvalScratch> scratch(static_cast<size_t>(workers) + 1);
+  for (size_t ci = 0; ci < num_chunks; ++ci) {
+    opts.executor->Submit([&, ci, chunk] {
+      const int wid = ThreadPool::CurrentWorkerId();
+      const size_t begin = ci * chunk;
+      const size_t end = std::min(n, begin + chunk);
+      Status st = RunSourceChunk(graph, nfa, start_transitions, begin, end,
+                                 materialize, scratch[static_cast<size_t>(wid)],
+                                 &scope.worker(wid), &chunks[ci]);
+      if (!st.ok()) scope.ReportFailure(ci, std::move(st));
+    });
+  }
+  opts.executor->Wait();
+
+  // Fold the per-worker accounting into the base tracker and re-guard
+  // the surviving charges there; if the section failed, destroying the
+  // guard on return releases them, restoring the pre-call balance
+  // exactly as the serial unwind does.
+  const size_t outstanding = scope.Fold();
+  merged.charge = TupleCharge::Assume(budget, outstanding);
+
+  BfsStatsShard stats;
+  for (const SourceChunk& c : chunks) stats.Merge(c.stats);
+  if (profile != nullptr) profile->AddBfs(stats);
+  RecordEvalMetrics(n, num_chunks, stats);
+  GMARK_RETURN_NOT_OK(scope.first_failure());
+
+  if (materialize) {
+    size_t total = 0;
+    for (const SourceChunk& c : chunks) total += c.pairs.size();
+    merged.pairs.reserve(total);
+  }
+  for (SourceChunk& c : chunks) {
+    merged.count += c.count;
+    if (materialize) {
+      merged.pairs.insert(merged.pairs.end(), c.pairs.begin(), c.pairs.end());
+      // Free each chunk's copy as it merges: the charged tuple count
+      // covers one live copy, and bounding the transient duplication to
+      // a single chunk keeps the physical footprint honest to it.
+      std::vector<std::pair<NodeId, NodeId>>().swap(c.pairs);
+    }
+  }
+  return merged;
+}
+
+}  // namespace
 
 Result<uint64_t> RpqEvaluator::CountPairs(const Nfa& nfa,
                                           BudgetTracker* budget,
                                           EvalProfile* profile) const {
-  uint64_t total = 0;
   // Counting still holds every accepted pair against the budget (the
   // paper's engines would); only the count survives the function, so
-  // the guard releases the whole charge on return.
-  TupleCharge charge(budget);
-  Status st = ForEachSource(
-      nfa, budget, profile, [&](NodeId, const std::vector<NodeId>& targets) {
-        total += targets.size();
-        return charge.Charge(targets.size());
-      });
-  GMARK_RETURN_NOT_OK(st);
-  return total;
+  // the merged guard releases the whole charge on return.
+  GMARK_ASSIGN_OR_RETURN(
+      MergedSources merged,
+      ForEachSource(*graph_, nfa, opts_, /*materialize=*/false, budget,
+                    profile));
+  return merged.count;
 }
 
 Result<Charged<std::vector<std::pair<NodeId, NodeId>>>>
 RpqEvaluator::MaterializePairs(const Nfa& nfa, BudgetTracker* budget,
                                EvalProfile* profile) const {
-  std::vector<std::pair<NodeId, NodeId>> pairs;
-  TupleCharge charge(budget);
-  Status st = ForEachSource(
-      nfa, budget, profile,
-      [&](NodeId source, const std::vector<NodeId>& targets) {
-        GMARK_RETURN_NOT_OK(charge.Charge(targets.size()));
-        for (NodeId t : targets) pairs.emplace_back(source, t);
-        return Status::OK();
-      });
-  GMARK_RETURN_NOT_OK(st);
-  return Charged<std::vector<std::pair<NodeId, NodeId>>>(std::move(pairs),
-                                                         std::move(charge));
+  GMARK_ASSIGN_OR_RETURN(
+      MergedSources merged,
+      ForEachSource(*graph_, nfa, opts_, /*materialize=*/true, budget,
+                    profile));
+  return Charged<std::vector<std::pair<NodeId, NodeId>>>(
+      std::move(merged.pairs), std::move(merged.charge));
 }
 
 Result<Charged<std::vector<NodeId>>> RpqEvaluator::TargetsFrom(
     NodeId source, const Nfa& nfa, BudgetTracker* budget,
-    EvalProfile* profile) const {
+    EvalProfile* profile, EvalScratch* scratch) const {
   const size_t n = static_cast<size_t>(graph_->num_nodes());
   const size_t k = nfa.state_count();
-  ResettableBitset visited(n * k);
-  ResettableBitset accepted(n);
+  // Per-seed callers (Kleene fixpoints) pass persistent scratch so the
+  // n*k visited set is allocated once, not per seed; the fallback keeps
+  // one-off calls simple.
+  EvalScratch local;
+  EvalScratch& s = scratch != nullptr ? *scratch : local;
+  s.Prepare(n, k);
+  ResettableBitset& visited = s.visited;
+  ResettableBitset& accepted = s.accepted;
+  std::vector<uint64_t>& stack = s.stack;
   std::vector<NodeId> targets;
   TupleCharge charge(budget);
   if (nfa.AcceptsEpsilon()) {
@@ -185,7 +321,6 @@ Result<Charged<std::vector<NodeId>>> RpqEvaluator::TargetsFrom(
     GMARK_RETURN_NOT_OK(charge.Charge(1));
     targets.push_back(source);
   }
-  std::vector<uint64_t> stack;
   uint64_t init = static_cast<uint64_t>(source) * k + nfa.start();
   visited.TestAndSet(init);
   stack.push_back(init);

@@ -8,6 +8,14 @@
 // semantics with endpoint projection), which avoids materializing
 // intermediate join relations — essential for counting quadratic
 // queries. Non-chain shapes fall back to hash-join evaluation.
+//
+// Per-source BFS runs are independent, so when an EvalOptions carries a
+// multi-worker Executor the source loop is chunked across it: each
+// worker reuses private EvalScratch and charges a private
+// ConcurrentBudgetScope tracker, and chunk results merge in source
+// order — counts, pairs, profiles, and budget accounting are
+// byte-identical at any thread or chunk count (the identity tests and
+// bench/eval_speedup's gate pin this).
 
 #ifndef GMARK_ENGINE_EVALUATOR_H_
 #define GMARK_ENGINE_EVALUATOR_H_
@@ -16,6 +24,8 @@
 
 #include "engine/automaton.h"
 #include "engine/budget.h"
+#include "engine/eval_options.h"
+#include "engine/eval_scratch.h"
 #include "engine/relation.h"
 #include "graph/graph.h"
 #include "obs/eval_profile.h"
@@ -29,8 +39,10 @@ namespace gmark {
 /// peak frontier size; a null profile costs one pointer test per BFS.
 class RpqEvaluator {
  public:
-  /// \brief `graph` must outlive the evaluator.
-  explicit RpqEvaluator(const Graph* graph) : graph_(graph) {}
+  /// \brief `graph` must outlive the evaluator; `opts.executor`, when
+  /// set, must outlive every evaluation.
+  explicit RpqEvaluator(const Graph* graph, EvalOptions opts = {})
+      : graph_(graph), opts_(opts) {}
 
   /// \brief Count distinct (source, target) pairs accepted by `nfa`.
   /// The per-source target sets are charged while live and released
@@ -45,27 +57,27 @@ class RpqEvaluator {
       EvalProfile* profile = nullptr) const;
 
   /// \brief Distinct targets reachable from one source, charged against
-  /// `budget` for the lifetime of the returned vector.
+  /// `budget` for the lifetime of the returned vector. `scratch`, when
+  /// given, supplies the visited/accepted sets — per-seed callers
+  /// (Kleene fixpoints) reuse one across seeds to avoid the O(n*k)
+  /// allocation per call; null allocates locally.
   Result<Charged<std::vector<NodeId>>> TargetsFrom(
       NodeId source, const Nfa& nfa, BudgetTracker* budget,
-      EvalProfile* profile = nullptr) const;
+      EvalProfile* profile = nullptr, EvalScratch* scratch = nullptr) const;
 
   const Graph& graph() const { return *graph_; }
+  const EvalOptions& options() const { return opts_; }
 
  private:
-  // Shared driver: for each source, BFS the product graph and hand the
-  // accepted targets to `emit(source, targets)`.
-  template <typename Emit>
-  Status ForEachSource(const Nfa& nfa, BudgetTracker* budget,
-                       EvalProfile* profile, Emit&& emit) const;
-
   const Graph* graph_;
+  EvalOptions opts_;
 };
 
 /// \brief Query-level evaluator with the chain fast path.
 class ReferenceEvaluator {
  public:
-  explicit ReferenceEvaluator(const Graph* graph) : rpq_(graph) {}
+  explicit ReferenceEvaluator(const Graph* graph, EvalOptions opts = {})
+      : rpq_(graph, opts) {}
 
   /// \brief |Q(G)| with distinct set semantics — the paper's measurement
   /// (§7.1 applies count(distinct ...) to every query). `ctx`, when

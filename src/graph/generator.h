@@ -70,6 +70,13 @@ struct GeneratorOptions {
   /// on the calling thread. Ignored by the serial GenerateEdges path.
   int num_threads = 1;
 
+  /// Worker threads for intra-query evaluation (the frontier-parallel
+  /// RPQ evaluator; engine/eval_options.h) when the driver also runs
+  /// queries over the generated graph. Same convention as num_threads:
+  /// 0 = hardware concurrency, 1 = serial. Evaluation results are
+  /// byte-identical at any value; generation ignores this field.
+  int eval_threads = 1;
+
   /// Nodes (slot building) or edges (emission) per parallel task. The
   /// output of the parallel generator is a function of (seed,
   /// chunk_size) and is independent of num_threads; constraints smaller

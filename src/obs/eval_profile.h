@@ -35,6 +35,23 @@ struct ConjunctProfile {
   uint64_t fixpoint_rounds = 0;
 };
 
+/// \brief BFS statistics accumulated privately by one worker's chunk of
+/// sources (or by the whole serial pass), merged into an EvalProfile in
+/// chunk order after the parallel section quiesces. Pops add and peaks
+/// max, so the merged totals equal the serial pass's numbers exactly —
+/// the obs identity tests pin this.
+struct BfsStatsShard {
+  uint64_t pops = 0;           ///< Product-graph states popped.
+  uint64_t peak_frontier = 0;  ///< Max pending-stack size in the shard.
+
+  void Merge(const BfsStatsShard& other) {
+    pops += other.pops;
+    if (other.peak_frontier > peak_frontier) {
+      peak_frontier = other.peak_frontier;
+    }
+  }
+};
+
 /// \brief Everything observed about one evaluation.
 struct EvalProfile {
   /// One entry per body conjunct, concatenated across rules in rule
@@ -57,6 +74,14 @@ struct EvalProfile {
   ConjunctProfile& Conjunct(size_t i) {
     if (conjuncts.size() <= i) conjuncts.resize(i + 1);
     return conjuncts[i];
+  }
+
+  /// \brief Fold one worker's BFS statistics in (call in chunk order).
+  void AddBfs(const BfsStatsShard& shard) {
+    bfs_pops += shard.pops;
+    if (shard.peak_frontier > bfs_peak_frontier) {
+      bfs_peak_frontier = shard.peak_frontier;
+    }
   }
 
   /// \brief Copy the tracker's final accounting (and the budget's

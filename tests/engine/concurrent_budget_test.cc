@@ -1,0 +1,157 @@
+// ConcurrentBudgetScope: the per-worker-fold budget protocol behind the
+// frontier-parallel evaluator. These tests pin the fold semantics, the
+// shared-ceiling enforcement, the deterministic first-exceeded failure
+// report, and the time-base delegation — single-threaded, so every
+// assertion is about the protocol, not about scheduling. All charging
+// goes through TupleCharge guards (the raw protocol is banned outside
+// budget.h/charge.h).
+
+#include "engine/budget.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/charge.h"
+
+namespace gmark {
+namespace {
+
+TEST(ConcurrentBudgetScopeTest, FoldMovesWorkerCountersIntoBase) {
+  BudgetTracker base(ResourceBudget::Unlimited());
+  ConcurrentBudgetScope scope(&base, 3);
+  ASSERT_EQ(scope.worker_count(), 3);
+
+  {
+    TupleCharge c0(&scope.worker(0));
+    ASSERT_TRUE(c0.Charge(5).ok());
+    EXPECT_EQ(c0.Disarm(), 5u);
+  }
+  {
+    TupleCharge c1(&scope.worker(1));
+    ASSERT_TRUE(c1.Charge(7).ok());
+    EXPECT_EQ(c1.Disarm(), 7u);
+  }
+  scope.worker(2).ChargeScan(11);
+
+  // The base tracker sees nothing until the fold...
+  EXPECT_EQ(base.tuples_used(), 0u);
+  EXPECT_EQ(base.tuples_scanned(), 0u);
+
+  const size_t outstanding = scope.Fold();
+  EXPECT_EQ(outstanding, 12u);
+  EXPECT_EQ(base.tuples_used(), 12u);
+  EXPECT_EQ(base.peak_tuples(), 12u);
+  EXPECT_EQ(base.tuples_scanned(), 11u);
+  EXPECT_EQ(base.over_releases(), 0u);
+
+  // Fold is idempotent: a second call moves nothing.
+  EXPECT_EQ(scope.Fold(), 0u);
+
+  // The protocol's last step: re-guard the outstanding total on the
+  // base so the balance returns to zero when the value dies.
+  TupleCharge assumed = TupleCharge::Assume(&base, outstanding);
+  EXPECT_EQ(assumed.count(), 12u);
+}
+
+TEST(ConcurrentBudgetScopeTest, CeilingEnforcedAgainstCrossWorkerTotal) {
+  BudgetTracker base(ResourceBudget::Limited(1e9, 10));
+  ConcurrentBudgetScope scope(&base, 2);
+
+  TupleCharge c0(&scope.worker(0));
+  ASSERT_TRUE(c0.Charge(6).ok());
+
+  {
+    // Worker 1 alone is under its own budget, but the shared total
+    // (6 + 6 = 12) exceeds the ceiling — the scope must reject it.
+    TupleCharge c1(&scope.worker(1));
+    Status st = c1.Charge(6);
+    EXPECT_TRUE(st.IsResourceExhausted()) << st.ToString();
+    // Charge-before-reject: the failed charge is recorded until the
+    // guard unwinds it (here, at scope exit).
+    EXPECT_EQ(scope.worker(1).tuples_used(), 6u);
+  }
+  EXPECT_EQ(scope.worker(1).tuples_used(), 0u);
+
+  EXPECT_EQ(c0.Disarm(), 6u);
+  const size_t outstanding = scope.Fold();
+  EXPECT_EQ(outstanding, 6u);
+  // The rejected-then-released charge still counted toward the peak
+  // (it was briefly live), and left no over-release behind.
+  EXPECT_EQ(base.peak_tuples(), 12u);
+  EXPECT_EQ(base.over_releases(), 0u);
+  TupleCharge assumed = TupleCharge::Assume(&base, outstanding);
+}
+
+TEST(ConcurrentBudgetScopeTest, SharedBalanceSeedsFromBaseOutstanding) {
+  BudgetTracker base(ResourceBudget::Limited(1e9, 10));
+  TupleCharge serial(&base);
+  ASSERT_TRUE(serial.Charge(4).ok());
+
+  ConcurrentBudgetScope scope(&base, 1);
+  TupleCharge c0(&scope.worker(0));
+  // 4 (pre-existing, serial) + 7 = 11 > 10: earlier charges count
+  // against the parallel section's ceiling.
+  Status st = c0.Charge(7);
+  EXPECT_TRUE(st.IsResourceExhausted()) << st.ToString();
+}
+
+TEST(ConcurrentBudgetScopeTest, PeakFoldsAsMaxNotSum) {
+  BudgetTracker base(ResourceBudget::Unlimited());
+  ConcurrentBudgetScope scope(&base, 2);
+
+  TupleCharge c0(&scope.worker(0));
+  ASSERT_TRUE(c0.Charge(5).ok());
+  {
+    TupleCharge c1(&scope.worker(1));
+    ASSERT_TRUE(c1.Charge(3).ok());
+    // Live total briefly 8; c1 releases on scope exit.
+  }
+  EXPECT_EQ(c0.Disarm(), 5u);
+
+  const size_t outstanding = scope.Fold();
+  EXPECT_EQ(outstanding, 5u);
+  EXPECT_EQ(base.tuples_used(), 5u);
+  // The peak is the high-water mark of the shared balance (8), not the
+  // sum of per-worker peaks and not the folded balance.
+  EXPECT_EQ(base.peak_tuples(), 8u);
+  TupleCharge assumed = TupleCharge::Assume(&base, outstanding);
+}
+
+TEST(ConcurrentBudgetScopeTest, FirstExceededWinsByTaskIndex) {
+  BudgetTracker base(ResourceBudget::Unlimited());
+  ConcurrentBudgetScope scope(&base, 1);
+
+  // Reports arrive in arbitrary (scheduling-dependent) order; the
+  // lowest task index must win so the surfaced error is deterministic.
+  scope.ReportFailure(5, Status::ResourceExhausted("task 5"));
+  scope.ReportFailure(2, Status::ResourceExhausted("task 2"));
+  scope.ReportFailure(7, Status::ResourceExhausted("task 7"));
+  scope.ReportFailure(2, Status::ResourceExhausted("task 2 again"));
+
+  Status winner = scope.first_failure();
+  EXPECT_TRUE(winner.IsResourceExhausted());
+  EXPECT_NE(winner.ToString().find("task 2"), std::string::npos);
+  EXPECT_EQ(winner.ToString().find("task 2 again"), std::string::npos);
+}
+
+TEST(ConcurrentBudgetScopeTest, NoFailureReportsOk) {
+  BudgetTracker base(ResourceBudget::Unlimited());
+  ConcurrentBudgetScope scope(&base, 1);
+  EXPECT_TRUE(scope.first_failure().ok());
+}
+
+TEST(ConcurrentBudgetScopeTest, WorkerTimeChecksUseBaseDeadline) {
+  // A negative timeout is already expired at construction, so the check
+  // fires deterministically regardless of clock resolution. The worker
+  // tracker holds no clock of its own — it must see the base's.
+  BudgetTracker base(ResourceBudget::Limited(-1.0, 1000));
+  ConcurrentBudgetScope scope(&base, 2);
+  EXPECT_TRUE(scope.worker(0).CheckTime().IsResourceExhausted());
+  EXPECT_TRUE(scope.worker(1).CheckTime().IsResourceExhausted());
+
+  BudgetTracker roomy(ResourceBudget::Limited(1e9, 1000));
+  ConcurrentBudgetScope roomy_scope(&roomy, 1);
+  EXPECT_TRUE(roomy_scope.worker(0).CheckTime().ok());
+}
+
+}  // namespace
+}  // namespace gmark

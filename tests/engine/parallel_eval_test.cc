@@ -1,0 +1,306 @@
+// Byte-identity of frontier-parallel query evaluation: counts, pairs,
+// profiles, and budget accounting must not depend on the thread or
+// chunk count — at 1/2/8 threads, on success paths and budget-killed
+// paths alike. The serial evaluator (no executor) is the oracle.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "engine/automaton.h"
+#include "engine/engines.h"
+#include "engine/evaluator.h"
+#include "parallel/executor.h"
+
+namespace gmark {
+namespace {
+
+// A deterministic ~500-node graph over predicates a (0) and b (1),
+// dense enough that the auto-chunked evaluator produces many chunks
+// per thread count (and skewed: node degree varies with index).
+Graph DenseGraph(int64_t n = 500) {
+  GraphConfiguration config;
+  config.num_nodes = n;
+  EXPECT_TRUE(
+      config.schema.AddType("t", OccurrenceConstraint::Fixed(n)).ok());
+  std::vector<Edge> edges;
+  for (NodeId i = 0; i < static_cast<NodeId>(n); ++i) {
+    const int degree = 2 + static_cast<int>(i % 7);
+    for (int j = 0; j < degree; ++j) {
+      NodeId t = (i * 7 + static_cast<NodeId>(j) * 13 + 1) %
+                 static_cast<NodeId>(n);
+      edges.push_back(Edge{i, 0, t});
+    }
+    if (i % 3 == 0) {
+      edges.push_back(Edge{i, 1, (i * 5 + 2) % static_cast<NodeId>(n)});
+    }
+  }
+  NodeLayout layout = NodeLayout::Create(config).ValueOrDie();
+  return Graph::Build(std::move(layout), 2, std::move(edges)).ValueOrDie();
+}
+
+RegularExpression StarA() {
+  RegularExpression star;
+  star.disjuncts = {{Symbol::Fwd(0)}};
+  star.star = true;
+  return star;
+}
+
+// Non-recursive chain (b then a): tractable for the DFS engine too —
+// its path enumeration is exponential under a Kleene star with an
+// unlimited budget, so cross-engine tests stay star-free and the
+// recursive coverage rides the RpqEvaluator/S-engine tests above.
+Query ChainQuery() {
+  Query q;
+  QueryRule rule;
+  rule.body.push_back(Conjunct{0, 1, RegularExpression::Atom(Symbol::Fwd(1))});
+  rule.body.push_back(Conjunct{1, 2, RegularExpression::Atom(Symbol::Fwd(0))});
+  rule.head = {0, 2};
+  q.rules = {rule};
+  return q;
+}
+
+// Recursive chain for the engines whose evaluator parallelizes (S).
+Query StarChainQuery() {
+  Query q;
+  QueryRule rule;
+  rule.body.push_back(Conjunct{0, 1, RegularExpression::Atom(Symbol::Fwd(1))});
+  rule.body.push_back(Conjunct{1, 2, StarA()});
+  rule.head = {0, 2};
+  q.rules = {rule};
+  return q;
+}
+
+// The thread counts the identity gate pins (1 exercises the inline
+// executor; 2 and 8 the pooled path with different chunk interleaving).
+const int kThreadCounts[] = {1, 2, 8};
+
+TEST(ParallelEvalTest, CountPairsIdenticalAcrossThreads) {
+  Graph g = DenseGraph();
+  Nfa nfa = Nfa::FromRegex(StarA()).ValueOrDie();
+
+  RpqEvaluator serial(&g);
+  BudgetTracker serial_budget(ResourceBudget::Unlimited());
+  EvalProfile serial_profile;
+  const uint64_t expected =
+      serial.CountPairs(nfa, &serial_budget, &serial_profile).ValueOrDie();
+  ASSERT_GT(expected, 0u);
+
+  for (int threads : kThreadCounts) {
+    Executor executor(threads);
+    for (size_t chunk : {size_t{0}, size_t{7}, size_t{497}}) {
+      EvalOptions opts;
+      opts.executor = &executor;
+      opts.chunk_sources = chunk;
+      RpqEvaluator parallel(&g, opts);
+      BudgetTracker budget(ResourceBudget::Unlimited());
+      EvalProfile profile;
+      EXPECT_EQ(parallel.CountPairs(nfa, &budget, &profile).ValueOrDie(),
+                expected)
+          << threads << " threads, chunk " << chunk;
+      // Success-path accounting is deterministic: charges are monotone
+      // during the fan-out, so the peak equals the serial peak exactly.
+      EXPECT_EQ(budget.peak_tuples(), serial_budget.peak_tuples());
+      EXPECT_EQ(budget.tuples_used(), serial_budget.tuples_used());
+      EXPECT_EQ(budget.over_releases(), 0u);
+      EXPECT_EQ(profile.bfs_pops, serial_profile.bfs_pops);
+      EXPECT_EQ(profile.bfs_peak_frontier, serial_profile.bfs_peak_frontier);
+    }
+  }
+}
+
+TEST(ParallelEvalTest, MaterializePairsByteIdenticalAcrossThreads) {
+  Graph g = DenseGraph();
+  Nfa nfa = Nfa::FromRegex(StarA()).ValueOrDie();
+
+  RpqEvaluator serial(&g);
+  BudgetTracker serial_budget(ResourceBudget::Unlimited());
+  auto expected = serial.MaterializePairs(nfa, &serial_budget).ValueOrDie();
+  ASSERT_FALSE(expected.value.empty());
+
+  for (int threads : kThreadCounts) {
+    Executor executor(threads);
+    EvalOptions opts;
+    opts.executor = &executor;
+    RpqEvaluator parallel(&g, opts);
+    BudgetTracker budget(ResourceBudget::Unlimited());
+    auto pairs = parallel.MaterializePairs(nfa, &budget).ValueOrDie();
+    // Byte identity: same pairs in the same (source) order.
+    EXPECT_EQ(pairs.value, expected.value) << threads << " threads";
+    EXPECT_EQ(pairs.charge.count(), expected.charge.count());
+    EXPECT_EQ(budget.peak_tuples(), serial_budget.peak_tuples());
+    EXPECT_EQ(budget.over_releases(), 0u);
+  }
+}
+
+TEST(ParallelEvalTest, AllEnginesIdenticalAcrossThreads) {
+  Graph g = DenseGraph(200);
+  Query q = ChainQuery();
+  const ResourceBudget budget = ResourceBudget::Unlimited();
+
+  for (EngineKind kind : AllEngineKinds()) {
+    auto serial_engine = MakeEngine(kind);
+    EvalProfile serial_profile;
+    EvalContext serial_ctx;
+    serial_ctx.profile = &serial_profile;
+    const uint64_t expected =
+        serial_engine->Evaluate(g, q, budget, &serial_ctx).ValueOrDie();
+
+    for (int threads : kThreadCounts) {
+      Executor executor(threads);
+      EvalOptions opts;
+      opts.executor = &executor;
+      auto engine = MakeEngine(kind, opts);
+      EvalProfile profile;
+      EvalContext ctx;
+      ctx.profile = &profile;
+      EXPECT_EQ(engine->Evaluate(g, q, budget, &ctx).ValueOrDie(), expected)
+          << EngineKindCode(kind) << " at " << threads << " threads";
+      EXPECT_EQ(profile.peak_tuples, serial_profile.peak_tuples)
+          << EngineKindCode(kind) << " at " << threads << " threads";
+      EXPECT_EQ(profile.bfs_pops, serial_profile.bfs_pops);
+      EXPECT_EQ(profile.bfs_peak_frontier, serial_profile.bfs_peak_frontier);
+      EXPECT_EQ(profile.tuples_scanned, serial_profile.tuples_scanned);
+      EXPECT_EQ(profile.fixpoint_rounds, serial_profile.fixpoint_rounds);
+      EXPECT_EQ(profile.over_releases, 0u);
+      ASSERT_EQ(profile.conjuncts.size(), serial_profile.conjuncts.size());
+      for (size_t i = 0; i < profile.conjuncts.size(); ++i) {
+        EXPECT_EQ(profile.conjuncts[i].rows, serial_profile.conjuncts[i].rows);
+        EXPECT_EQ(profile.conjuncts[i].fixpoint_rounds,
+                  serial_profile.conjuncts[i].fixpoint_rounds);
+      }
+    }
+  }
+}
+
+TEST(ParallelEvalTest, SparqlEngineIdenticalOnRecursiveQuery) {
+  Graph g = DenseGraph(200);
+  Query q = StarChainQuery();
+  const ResourceBudget budget = ResourceBudget::Unlimited();
+
+  auto serial_engine = MakeEngine(EngineKind::kSparql);
+  EvalProfile serial_profile;
+  EvalContext serial_ctx;
+  serial_ctx.profile = &serial_profile;
+  const uint64_t expected =
+      serial_engine->Evaluate(g, q, budget, &serial_ctx).ValueOrDie();
+
+  for (int threads : kThreadCounts) {
+    Executor executor(threads);
+    EvalOptions opts;
+    opts.executor = &executor;
+    auto engine = MakeEngine(EngineKind::kSparql, opts);
+    EvalProfile profile;
+    EvalContext ctx;
+    ctx.profile = &profile;
+    EXPECT_EQ(engine->Evaluate(g, q, budget, &ctx).ValueOrDie(), expected)
+        << threads << " threads";
+    EXPECT_EQ(profile.peak_tuples, serial_profile.peak_tuples);
+    EXPECT_EQ(profile.bfs_pops, serial_profile.bfs_pops);
+    EXPECT_EQ(profile.bfs_peak_frontier, serial_profile.bfs_peak_frontier);
+    EXPECT_EQ(profile.over_releases, 0u);
+  }
+}
+
+TEST(ParallelEvalTest, TupleKilledPathsAgreeAcrossThreads) {
+  Graph g = DenseGraph();
+  Nfa nfa = Nfa::FromRegex(StarA()).ValueOrDie();
+
+  // Unlimited serial run: the documented upper bound for every kill's
+  // peak, and proof the ceiling below actually bites.
+  RpqEvaluator serial(&g);
+  BudgetTracker unlimited(ResourceBudget::Unlimited());
+  const uint64_t full_count =
+      serial.CountPairs(nfa, &unlimited, nullptr).ValueOrDie();
+  const size_t ceiling = static_cast<size_t>(full_count / 2);
+  ASSERT_GT(ceiling, 0u);
+
+  BudgetTracker serial_killed(ResourceBudget::Limited(1e9, ceiling));
+  Status serial_status =
+      serial.CountPairs(nfa, &serial_killed, nullptr).status();
+  ASSERT_TRUE(serial_status.IsResourceExhausted());
+
+  for (int threads : kThreadCounts) {
+    Executor executor(threads);
+    EvalOptions opts;
+    opts.executor = &executor;
+    RpqEvaluator parallel(&g, opts);
+    BudgetTracker killed(ResourceBudget::Limited(1e9, ceiling));
+    Status st = parallel.CountPairs(nfa, &killed, nullptr).status();
+    // Same Status class at every thread count; the message (which
+    // embeds the observed total) may differ on the kill path.
+    EXPECT_TRUE(st.IsResourceExhausted())
+        << threads << " threads: " << st.ToString();
+    // The kill unwinds completely: nothing stays charged, nothing is
+    // over-released.
+    EXPECT_EQ(killed.tuples_used(), 0u);
+    EXPECT_EQ(killed.over_releases(), 0u);
+    // Documented parallel bound: the rejecting charge pushed the total
+    // past the ceiling, and no run can exceed the unlimited peak.
+    EXPECT_GT(killed.peak_tuples(), ceiling);
+    EXPECT_LE(killed.peak_tuples(), unlimited.peak_tuples());
+  }
+}
+
+TEST(ParallelEvalTest, TimeKilledPathsAgreeAcrossThreads) {
+  Graph g = DenseGraph();
+  Nfa nfa = Nfa::FromRegex(StarA()).ValueOrDie();
+
+  // A negative timeout is expired before evaluation starts, so the
+  // time kill fires deterministically at any clock resolution.
+  RpqEvaluator serial(&g);
+  BudgetTracker serial_killed(ResourceBudget::Limited(-1.0, SIZE_MAX));
+  ASSERT_TRUE(serial.CountPairs(nfa, &serial_killed, nullptr)
+                  .status()
+                  .IsResourceExhausted());
+
+  for (int threads : kThreadCounts) {
+    Executor executor(threads);
+    EvalOptions opts;
+    opts.executor = &executor;
+    RpqEvaluator parallel(&g, opts);
+    BudgetTracker killed(ResourceBudget::Limited(-1.0, SIZE_MAX));
+    Status st = parallel.CountPairs(nfa, &killed, nullptr).status();
+    EXPECT_TRUE(st.IsResourceExhausted())
+        << threads << " threads: " << st.ToString();
+    EXPECT_EQ(killed.tuples_used(), 0u);
+    EXPECT_EQ(killed.over_releases(), 0u);
+  }
+}
+
+TEST(ParallelEvalTest, EnginesAgreeOnBudgetKilledStatus) {
+  Graph g = DenseGraph(200);
+  Query q = ChainQuery();
+  // Tight enough that every engine dies on tuples for this query.
+  const ResourceBudget tight = ResourceBudget::Limited(1e9, 50);
+
+  for (EngineKind kind : AllEngineKinds()) {
+    auto serial_engine = MakeEngine(kind);
+    EvalProfile serial_profile;
+    EvalContext serial_ctx;
+    serial_ctx.profile = &serial_profile;
+    Status serial_status =
+        serial_engine->Evaluate(g, q, tight, &serial_ctx).status();
+    ASSERT_TRUE(serial_status.IsResourceExhausted())
+        << EngineKindCode(kind) << ": " << serial_status.ToString();
+
+    for (int threads : kThreadCounts) {
+      Executor executor(threads);
+      EvalOptions opts;
+      opts.executor = &executor;
+      auto engine = MakeEngine(kind, opts);
+      EvalProfile profile;
+      EvalContext ctx;
+      ctx.profile = &profile;
+      Status st = engine->Evaluate(g, q, tight, &ctx).status();
+      EXPECT_TRUE(st.IsResourceExhausted())
+          << EngineKindCode(kind) << " at " << threads
+          << " threads: " << st.ToString();
+      EXPECT_EQ(profile.over_releases, 0u);
+      EXPECT_GT(profile.peak_tuples, 50u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gmark

@@ -30,6 +30,7 @@ EXPECTED_BAD = {
     "bad/raw_charge.cc": {"raw-charge"},
     "bad/unchecked_status.cc": {"unchecked-status"},
     "bad/unguarded_field.cc": {"unguarded-shared-field"},
+    "bad/unguarded_budget_scope.cc": {"unguarded-shared-field"},
     "bad/unordered_iter_alias.cc": {"unordered-iter-ast"},
     "bad/nolint_empty.cc": {"nolint-empty-reason"},
 }
@@ -39,6 +40,7 @@ EXPECTED_MIN_COUNT = {
     "bad/raw_charge.cc": 2,        # ChargeTuples + ReleaseTuples
     "bad/unchecked_status.cc": 2,  # Status + Result<T>
     "bad/unguarded_field.cc": 2,   # mutex-adjacent + atomic
+    "bad/unguarded_budget_scope.cc": 3,  # two atomics + mutex-adjacent
 }
 
 
