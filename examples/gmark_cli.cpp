@@ -30,6 +30,12 @@
 //                                          PD, or "all" = PGSD), and print
 //                                          per-query timings with their
 //                                          evaluation profiles
+//             [--plan on|off]              selectivity-driven planning for
+//                                          --evaluate: conjunct order,
+//                                          traversal direction, and Kleene
+//                                          seed side chosen from the schema's
+//                                          degree distributions (default off;
+//                                          results identical either way)
 //             [--metrics-json FILE]        write the metric-registry snapshot
 //                                          as JSON (also --metrics-json=FILE)
 //             [--trace-json FILE]          record hierarchical spans and
@@ -59,6 +65,7 @@
 #include "obs/trace.h"
 #include "parallel/executor.h"
 #include "parallel/parallel_generator.h"
+#include "plan/planner.h"
 #include "graph/stats.h"
 #include "query/query_xml.h"
 #include "util/string_util.h"
@@ -78,7 +85,7 @@ int Usage(const char* argv0) {
       "          [-w workload-config.xml] [-g graph.out] [--format nt|csv]\n"
       "          [-q workload.xml] [-o query-dir] [--threads k]\n"
       "          [--spill-dir DIR] [--spill-threshold BYTES] [--stats]\n"
-      "          [--evaluate CODES] [--eval-threads k]\n"
+      "          [--evaluate CODES] [--eval-threads k] [--plan on|off]\n"
       "          [--metrics-json FILE] [--trace-json FILE]\n"
       "\n"
       "  --threads k            parallel graph and workload generation\n"
@@ -98,6 +105,12 @@ int Usage(const char* argv0) {
       "                         engine simulators named by CODES (subset\n"
       "                         of PGSD, or \"all\") and print per-query\n"
       "                         timings with evaluation profiles\n"
+      "  --plan on|off          selectivity-driven query planning for\n"
+      "                         --evaluate (default off): reorder\n"
+      "                         conjuncts cheapest-first, pick traversal\n"
+      "                         direction and Kleene seed side from the\n"
+      "                         schema's degree distributions; results\n"
+      "                         are byte-identical either way\n"
       "  --metrics-json FILE    write the metric-registry snapshot as JSON\n"
       "  --trace-json FILE      record spans; write Chrome trace_event\n"
       "                         JSON (chrome://tracing, Perfetto)\n",
@@ -157,6 +170,9 @@ int main(int argc, char** argv) {
   int threads = -1;
   // Intra-query evaluation threads for --evaluate (1 = serial).
   int eval_threads = 1;
+  bool eval_threads_set = false;
+  // "" = flag absent (off); validated against {"on", "off"} below.
+  std::string plan_mode;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -185,6 +201,8 @@ int main(int argc, char** argv) {
       if (!take("--trace-json", &trace_json)) return Usage(argv[0]);
     } else if (arg.rfind("--evaluate", 0) == 0) {
       if (!take("--evaluate", &evaluate_codes)) return Usage(argv[0]);
+    } else if (arg.rfind("--plan", 0) == 0) {
+      if (!take("--plan", &plan_mode)) return Usage(argv[0]);
     } else if (arg == "-c") {
       if (const char* v = next()) config_path = v; else return Usage(argv[0]);
     } else if (arg == "-w") {
@@ -215,6 +233,7 @@ int main(int argc, char** argv) {
       auto parsed = ParseInt(v);
       if (!parsed.ok() || parsed.ValueOrDie() < 0) return Usage(argv[0]);
       eval_threads = static_cast<int>(parsed.ValueOrDie());
+      eval_threads_set = true;
     } else if (arg == "--format") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -235,9 +254,32 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Evaluation-flag validation: contradictory or unknown combinations
+  // fail loudly instead of being silently ignored.
+  if (!plan_mode.empty() && plan_mode != "on" && plan_mode != "off") {
+    std::fprintf(stderr, "error: --plan expects 'on' or 'off', got '%s'\n",
+                 plan_mode.c_str());
+    return 2;
+  }
+  if (!plan_mode.empty() && evaluate_codes.empty()) {
+    std::fprintf(stderr,
+                 "error: --plan requires --evaluate (planning only applies "
+                 "to engine evaluation)\n");
+    return 2;
+  }
+  if (eval_threads_set && evaluate_codes.empty()) {
+    std::fprintf(stderr, "error: --eval-threads requires --evaluate\n");
+    return 2;
+  }
   if (evaluate_codes == "all") evaluate_codes = "PGSD";
   for (char c : evaluate_codes) {
-    if (c != 'P' && c != 'G' && c != 'S' && c != 'D') return Usage(argv[0]);
+    if (c != 'P' && c != 'G' && c != 'S' && c != 'D') {
+      std::fprintf(stderr,
+                   "error: --evaluate: unknown engine code '%c' (valid: a "
+                   "subset of PGSD, or \"all\")\n",
+                   c);
+      return 2;
+    }
   }
 
   // Observability: install a registry whenever any surface needs one; a
@@ -443,12 +485,20 @@ int main(int argc, char** argv) {
     // One executor for every engine run; counts/profiles are identical
     // at any --eval-threads value (the identity tests pin this).
     Executor eval_executor(eval_threads);
+    // The planner reads only the immutable schema; one instance serves
+    // every engine. Plan-on changes execution order/direction but never
+    // results (the parallel_eval identity tests pin this).
+    std::optional<Planner> planner;
+    if (plan_mode == "on") planner.emplace(&config.schema);
     EvalOptions eval_opts;
     eval_opts.executor = &eval_executor;
-    std::printf("engine evaluation (budget: %.0fs / %zu tuples, %d eval %s):\n",
-                budget.timeout_seconds, budget.max_tuples,
-                eval_executor.workers(),
-                eval_executor.workers() == 1 ? "thread" : "threads");
+    eval_opts.planner = planner ? &*planner : nullptr;
+    std::printf(
+        "engine evaluation (budget: %.0fs / %zu tuples, %d eval %s, "
+        "plan %s):\n",
+        budget.timeout_seconds, budget.max_tuples, eval_executor.workers(),
+        eval_executor.workers() == 1 ? "thread" : "threads",
+        planner ? "on" : "off");
     for (char code : evaluate_codes) {
       const EngineKind kind = code == 'P'   ? EngineKind::kRelational
                               : code == 'G' ? EngineKind::kCypher

@@ -4,6 +4,8 @@
 #include <unordered_set>
 
 #include "engine/relation.h"
+#include "obs/eval_profile.h"
+#include "plan/planner.h"
 
 namespace gmark {
 
@@ -178,6 +180,39 @@ Result<ChargedPairs> ClosureSemiNaive(const Graph& graph,
     delta = std::move(next_delta);
   }
   return ChargedPairs(std::move(result), std::move(charge));
+}
+
+Result<ChargedPairs> EvaluateConjunctPairs(const Graph& graph,
+                                           const Conjunct& conjunct,
+                                           bool set_semantics,
+                                           ClosureKind closure,
+                                           BudgetTracker* budget,
+                                           EvalProfile* profile,
+                                           size_t conjunct_index) {
+  GMARK_ASSIGN_OR_RETURN(
+      ChargedPairs base,
+      RegexBasePairs(graph, conjunct.expr, set_semantics, budget));
+  if (!conjunct.expr.star) return base;
+  // The base relation stays charged until the closure exists, then
+  // releases with `base` on return (hand-paired code used to leak it).
+  uint64_t rounds = 0;
+  Result<ChargedPairs> closed =
+      closure == ClosureKind::kSemiNaive
+          ? ClosureSemiNaive(graph, base.value, budget, &rounds)
+          : ClosureNaive(graph, base.value, budget, &rounds);
+  if (profile != nullptr) {
+    profile->Conjunct(conjunct_index).fixpoint_rounds += rounds;
+    profile->fixpoint_rounds += rounds;
+  }
+  return closed;
+}
+
+QueryPlan PlanOrIdentity(const EvalOptions& opts, const Graph& graph,
+                         const Query& query) {
+  if (opts.planner != nullptr) {
+    return opts.planner->PlanQuery(query, graph.layout());
+  }
+  return QueryPlan::Identity(query);
 }
 
 }  // namespace gmark

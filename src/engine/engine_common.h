@@ -10,11 +10,15 @@
 
 #include "engine/budget.h"
 #include "engine/charge.h"
+#include "engine/eval_options.h"
 #include "graph/graph.h"
+#include "plan/plan.h"
 #include "query/query.h"
 #include "util/result.h"
 
 namespace gmark {
+
+struct EvalProfile;
 
 using NodePairs = std::vector<std::pair<NodeId, NodeId>>;
 
@@ -58,6 +62,32 @@ Result<ChargedPairs> ClosureSemiNaive(const Graph& graph,
                                       const NodePairs& base,
                                       BudgetTracker* budget,
                                       uint64_t* rounds = nullptr);
+
+/// \brief Closure strategy of the shared plan-step executor.
+enum class ClosureKind { kNaive, kSemiNaive };
+
+/// \brief The shared plan-step executor for the materializing engines:
+/// evaluates one conjunct — already direction-resolved by
+/// EffectiveConjunct, so a backward step arrives with its endpoints
+/// swapped and its regex reversed — into charged pairs: regex base
+/// union, then the requested closure strategy when starred. The Kleene
+/// seed side follows the step direction for free: the closure operates
+/// on the (possibly reversed) base relation. Fixpoint rounds are
+/// recorded under `conjunct_index` even when the closure dies on its
+/// budget — a partial round count still explains where the time went.
+Result<ChargedPairs> EvaluateConjunctPairs(const Graph& graph,
+                                           const Conjunct& conjunct,
+                                           bool set_semantics,
+                                           ClosureKind closure,
+                                           BudgetTracker* budget,
+                                           EvalProfile* profile,
+                                           size_t conjunct_index);
+
+/// \brief The plan an evaluation executes: the planner's, when the
+/// options carry one, else the identity plan. One call site per
+/// engine, so plan-on and plan-off share every execution code path.
+QueryPlan PlanOrIdentity(const EvalOptions& opts, const Graph& graph,
+                         const Query& query);
 
 }  // namespace gmark
 

@@ -38,17 +38,32 @@ class MaterializingEngine : public QueryEngine {
     BudgetTracker budget(budget_spec);
     EvalProfile* profile = ctx != nullptr ? ctx->profile : nullptr;
     BudgetProfileScope budget_scope(profile, &budget);
+    // The plan is recorded before any step runs, so a budget-killed
+    // evaluation still reports the order/direction it was executing.
+    const QueryPlan plan = PlanOrIdentity(options(), graph, query);
+    RecordPlan(plan, profile);
     // Relations and their charges live in parallel vectors until the
     // union is counted; the guards release on scope exit, before the
     // profile snapshot (which records the peak, not the balance).
     std::vector<VarRelation> per_rule;
     std::vector<TupleCharge> per_rule_charges;
-    // Profile conjunct numbering is global across rules, in rule order.
-    size_t conjunct_index = 0;
-    for (const QueryRule& rule : query.rules) {
+    // Profile conjunct numbering is global across rules in WRITTEN
+    // order; plan steps map execution position back to it.
+    size_t conjunct_offset = 0;
+    size_t step_offset = 0;
+    for (size_t ri = 0; ri < query.rules.size(); ++ri) {
+      const QueryRule& rule = query.rules[ri];
+      const RulePlan& rplan = plan.rules[ri];
       ChargedRelation acc;
       bool first = true;
-      for (const Conjunct& c : rule.body) {
+      for (size_t pos = 0; pos < rplan.steps.size(); ++pos) {
+        const PlanStep& step = rplan.steps[pos];
+        // Direction resolves here, once, for every engine: a backward
+        // step hands ConjunctPairs the endpoint-swapped, regex-reversed
+        // conjunct. Var labels travel with the endpoints, so the joins
+        // and head projection below never care about direction.
+        const Conjunct c = EffectiveConjunct(rule.body[step.conjunct], step);
+        const size_t conjunct_index = conjunct_offset + step.conjunct;
         WallTimer conjunct_timer;
         ChargedRelation rel;
         {
@@ -83,14 +98,16 @@ class MaterializingEngine : public QueryEngine {
           ConjunctProfile& cp = profile->Conjunct(conjunct_index);
           cp.rows += conjunct_rows;
           cp.seconds += conjunct_timer.ElapsedSeconds();
+          profile->RecordPlanStepRows(step_offset + pos, conjunct_rows);
         }
-        ++conjunct_index;
         GMARK_RETURN_NOT_OK(budget.CheckTime());
       }
       GMARK_ASSIGN_OR_RETURN(ChargedRelation projected,
                              ProjectDistinct(acc.value, rule.head, &budget));
       per_rule.push_back(std::move(projected.value));
       per_rule_charges.push_back(std::move(projected.charge));
+      conjunct_offset += rule.body.size();
+      step_offset += rplan.steps.size();
     }
     return CountDistinctUnion(per_rule, &budget);
   }
@@ -130,22 +147,9 @@ class RelationalEngine : public MaterializingEngine {
                                      BudgetTracker* budget,
                                      EvalProfile* profile,
                                      size_t conjunct_index) const override {
-    GMARK_ASSIGN_OR_RETURN(
-        ChargedPairs base,
-        RegexBasePairs(graph, c.expr, /*set_semantics=*/false, budget));
-    if (!c.expr.star) return base;
-    // Record rounds even when the closure dies on its budget — a
-    // partial round count still explains where the time went. The base
-    // relation stays charged until the closure exists, then releases
-    // with `base` on return (the old hand-paired code leaked it).
-    uint64_t rounds = 0;
-    Result<ChargedPairs> closed =
-        ClosureNaive(graph, base.value, budget, &rounds);
-    if (profile != nullptr) {
-      profile->Conjunct(conjunct_index).fixpoint_rounds += rounds;
-      profile->fixpoint_rounds += rounds;
-    }
-    return closed;
+    return EvaluateConjunctPairs(graph, c, /*set_semantics=*/false,
+                                 ClosureKind::kNaive, budget, profile,
+                                 conjunct_index);
   }
 };
 
@@ -165,18 +169,9 @@ class DatalogEngine : public MaterializingEngine {
                                      BudgetTracker* budget,
                                      EvalProfile* profile,
                                      size_t conjunct_index) const override {
-    GMARK_ASSIGN_OR_RETURN(
-        ChargedPairs base,
-        RegexBasePairs(graph, c.expr, /*set_semantics=*/true, budget));
-    if (!c.expr.star) return base;
-    uint64_t rounds = 0;
-    Result<ChargedPairs> closed =
-        ClosureSemiNaive(graph, base.value, budget, &rounds);
-    if (profile != nullptr) {
-      profile->Conjunct(conjunct_index).fixpoint_rounds += rounds;
-      profile->fixpoint_rounds += rounds;
-    }
-    return closed;
+    return EvaluateConjunctPairs(graph, c, /*set_semantics=*/true,
+                                 ClosureKind::kSemiNaive, budget, profile,
+                                 conjunct_index);
   }
 };
 
@@ -210,9 +205,9 @@ class SparqlEngine : public MaterializingEngine {
 class CypherEngine : public QueryEngine {
  public:
   /// The DFS enumeration shares bindings and the used-edge set across
-  /// the whole match tree, so it is inherently sequential; the options
-  /// are accepted for interface uniformity and ignored.
-  explicit CypherEngine(EvalOptions) {}
+  /// the whole match tree, so it is inherently sequential; only the
+  /// planner option applies, the parallelism knobs are ignored.
+  explicit CypherEngine(EvalOptions opts) : opts_(opts) {}
 
   EngineKind kind() const override { return EngineKind::kCypher; }
   std::string description() const override {
@@ -226,6 +221,21 @@ class CypherEngine : public QueryEngine {
     BudgetTracker budget(budget_spec);
     EvalProfile* profile = ctx != nullptr ? ctx->profile : nullptr;
     BudgetProfileScope budget_scope(profile, &budget);
+    // Variable-length patterns keep their written direction: StarLabels
+    // keeps only non-inverse symbols, so reversing a star conjunct
+    // would change which labels survive the openCypher restriction —
+    // and therefore the result set. The plan's ORDER still applies to
+    // every conjunct; the recorded plan reflects what actually runs.
+    QueryPlan plan = PlanOrIdentity(opts_, graph, query);
+    for (size_t ri = 0; ri < query.rules.size(); ++ri) {
+      for (PlanStep& step : plan.rules[ri].steps) {
+        if (query.rules[ri].body[step.conjunct].expr.star) {
+          step.backward = false;
+          step.seed_backward = false;
+        }
+      }
+    }
+    RecordPlan(plan, profile);
     // One guard for the whole enumeration: the DFS's edge-visit and
     // result charges share the lifetime of the result set, releasing
     // when evaluation ends (before the profile snapshot, which records
@@ -233,11 +243,24 @@ class CypherEngine : public QueryEngine {
     TupleCharge charge(&budget);
     std::unordered_set<std::string> results;
     size_t conjunct_offset = 0;
-    for (const QueryRule& rule : query.rules) {
-      MatchState state{graph,  rule, &budget, &charge,       &results,
-                       {},     {},   profile, conjunct_offset};
+    size_t step_offset = 0;
+    for (size_t ri = 0; ri < query.rules.size(); ++ri) {
+      const QueryRule& rule = query.rules[ri];
+      // The body the DFS walks: effective conjuncts in plan order, plus
+      // the map from execution position back to written index (profile
+      // conjunct numbering stays in written order).
+      std::vector<Conjunct> body;
+      std::vector<size_t> written;
+      for (const PlanStep& step : plan.rules[ri].steps) {
+        body.push_back(EffectiveConjunct(rule.body[step.conjunct], step));
+        written.push_back(step.conjunct);
+      }
+      MatchState state{graph,   rule, body,    written,
+                       &budget, &charge, &results, {},
+                       {},      profile, conjunct_offset, step_offset};
       GMARK_RETURN_NOT_OK(MatchConjunct(state, 0));
       conjunct_offset += rule.body.size();
+      step_offset += plan.rules[ri].steps.size();
     }
     return static_cast<uint64_t>(results.size());
   }
@@ -245,7 +268,9 @@ class CypherEngine : public QueryEngine {
  private:
   struct MatchState {
     const Graph& graph;
-    const QueryRule& rule;
+    const QueryRule& rule;               // head projection only
+    const std::vector<Conjunct>& body;   // effective conjuncts, plan order
+    const std::vector<size_t>& written;  // body[i] -> written conjunct index
     BudgetTracker* budget;
     TupleCharge* charge;
     std::unordered_set<std::string>* results;
@@ -253,6 +278,7 @@ class CypherEngine : public QueryEngine {
     std::unordered_set<uint64_t> used_edges;  // relationship isomorphism
     EvalProfile* profile;     // may be null
     size_t conjunct_offset;   // this rule's first global conjunct index
+    size_t step_offset;       // this rule's first global plan-step index
   };
 
   static uint64_t EdgeId(const Graph& graph, PredicateId p, NodeId s,
@@ -352,11 +378,15 @@ class CypherEngine : public QueryEngine {
 
   Status MatchConjunct(MatchState& state, size_t index) const {
     if (state.profile != nullptr && index > 0) {
-      // Entering depth `index` means conjunct index-1 just matched once:
-      // the DFS engine's "row", since it materializes no relations.
-      ++state.profile->Conjunct(state.conjunct_offset + index - 1).rows;
+      // Entering depth `index` means the step at position index-1 just
+      // matched once: the DFS engine's "row", since it materializes no
+      // relations. Rows file under the step's WRITTEN conjunct index.
+      ++state.profile
+           ->Conjunct(state.conjunct_offset + state.written[index - 1])
+           .rows;
+      state.profile->RecordPlanStepRows(state.step_offset + index - 1, 1);
     }
-    if (index == state.rule.body.size()) {
+    if (index == state.body.size()) {
       GMARK_RETURN_NOT_OK(state.charge->Charge(1));
       state.results->insert(HeadKey(state));
       return Status::OK();
@@ -366,13 +396,13 @@ class CypherEngine : public QueryEngine {
     // time contains conjuncts i+1.. (documented in ConjunctProfile).
     WallTimer timer;
     Status st = DoMatchConjunct(state, index);
-    state.profile->Conjunct(state.conjunct_offset + index).seconds +=
-        timer.ElapsedSeconds();
+    state.profile->Conjunct(state.conjunct_offset + state.written[index])
+        .seconds += timer.ElapsedSeconds();
     return st;
   }
 
   Status DoMatchConjunct(MatchState& state, size_t index) const {
-    const Conjunct& c = state.rule.body[index];
+    const Conjunct& c = state.body[index];
 
     auto try_from = [&](NodeId source) -> Status {
       bool fresh = state.bindings.find(c.source) == state.bindings.end();
@@ -401,6 +431,8 @@ class CypherEngine : public QueryEngine {
     }
     return Status::OK();
   }
+
+  EvalOptions opts_;
 };
 
 }  // namespace

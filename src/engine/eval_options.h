@@ -9,12 +9,19 @@
 namespace gmark {
 
 class Executor;
+class Planner;
 
 /// \brief How an evaluation may use threads. Results are byte-identical
 /// at every setting — parallelism only reorders which thread runs which
 /// source chunk; chunk results merge in source order and the budget
 /// fold is deterministic (see ConcurrentBudgetScope).
 struct EvalOptions {
+  /// Selectivity-driven planner (plan/planner.h); null evaluates the
+  /// identity plan (written order, forward traversal). Not owned; must
+  /// outlive every evaluation using it. Results are byte-identical
+  /// plan-on vs plan-off — planning only reorders/redirects execution.
+  const Planner* planner = nullptr;
+
   /// Shared executor for intra-query parallelism; null (or an executor
   /// with a single worker) evaluates serially. Not owned; must outlive
   /// every evaluation using it. Evaluations must not be started from

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "engine/engine_common.h"
 #include "obs/metrics.h"
 #include "parallel/executor.h"
 #include "parallel/thread_pool.h"
@@ -357,12 +358,28 @@ Result<Charged<std::vector<NodeId>>> RpqEvaluator::TargetsFrom(
 }
 
 Result<ChargedRelation> ReferenceEvaluator::EvaluateRuleJoin(
-    const QueryRule& rule, BudgetTracker* budget, EvalContext* ctx) const {
+    const QueryRule& rule, BudgetTracker* budget, EvalContext* ctx,
+    const RulePlan* plan, size_t conjunct_offset, size_t step_offset) const {
   EvalProfile* profile = ctx != nullptr ? ctx->profile : nullptr;
+  // Callers without a plan (tests using this as an oracle) execute the
+  // identity plan — the same code path, written order, forward.
+  RulePlan identity;
+  if (plan == nullptr) {
+    identity.steps.resize(rule.body.size());
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      identity.steps[i].conjunct = static_cast<uint32_t>(i);
+    }
+    plan = &identity;
+  }
   ChargedRelation acc;
   bool first = true;
-  for (size_t ci = 0; ci < rule.body.size(); ++ci) {
-    const Conjunct& c = rule.body[ci];
+  for (size_t pos = 0; pos < plan->steps.size(); ++pos) {
+    const PlanStep& step = plan->steps[pos];
+    // The shared direction resolution: backward steps arrive endpoint-
+    // swapped and regex-reversed, so the NFA below IS the plan's
+    // traversal direction and the join logic never branches on it.
+    const Conjunct c = EffectiveConjunct(rule.body[step.conjunct], step);
+    const size_t ci = conjunct_offset + step.conjunct;
     WallTimer conjunct_timer;
     GMARK_ASSIGN_OR_RETURN(Nfa nfa, Nfa::FromRegex(c.expr));
     ChargedRelation rel;
@@ -395,6 +412,7 @@ Result<ChargedRelation> ReferenceEvaluator::EvaluateRuleJoin(
       ConjunctProfile& cp = profile->Conjunct(ci);
       cp.rows += conjunct_rows;
       cp.seconds += conjunct_timer.ElapsedSeconds();
+      profile->RecordPlanStepRows(step_offset + pos, conjunct_rows);
     }
   }
   GMARK_ASSIGN_OR_RETURN(ChargedRelation projected,
@@ -408,15 +426,33 @@ Result<uint64_t> ReferenceEvaluator::CountDistinct(
   BudgetTracker budget(budget_spec);
   EvalProfile* profile = ctx != nullptr ? ctx->profile : nullptr;
   BudgetProfileScope budget_scope(profile, &budget);
+  const QueryPlan plan = PlanOrIdentity(rpq_.options(), rpq_.graph(), query);
+  RecordPlan(plan, profile);
 
   // Fast path: a single rule whose body is a chain and whose head is the
   // chain's endpoints — exactly the binary queries of the paper's
-  // selectivity experiments. The chain composes into one RPQ.
+  // selectivity experiments. The chain composes into one RPQ. The
+  // single automaton fixes conjunct order, but the whole chain can run
+  // right-to-left when the plan estimates the reversed seed/frontier
+  // side cheaper; the reversed chain accepts exactly the transposed
+  // pair set, so distinct counts are unchanged.
   if (query.rules.size() == 1) {
     const QueryRule& rule = query.rules[0];
     auto chain = AsChain(rule);
     if (chain.ok()) {
-      const auto& conjuncts = chain.ValueOrDie();
+      std::vector<Conjunct> conjuncts = chain.ValueOrDie();
+      if (plan.rules[0].chain_backward) {
+        std::vector<Conjunct> reversed;
+        reversed.reserve(conjuncts.size());
+        for (auto it = conjuncts.rbegin(); it != conjuncts.rend(); ++it) {
+          Conjunct rc;
+          rc.source = it->target;
+          rc.target = it->source;
+          rc.expr = ReverseRegex(it->expr);
+          reversed.push_back(std::move(rc));
+        }
+        conjuncts = std::move(reversed);
+      }
       VarId first_var = conjuncts.front().source;
       VarId last_var = conjuncts.back().target;
       const auto& head = rule.head;
@@ -444,11 +480,17 @@ Result<uint64_t> ReferenceEvaluator::CountDistinct(
   // union is counted; the guards release on function exit.
   std::vector<VarRelation> per_rule;
   std::vector<TupleCharge> per_rule_charges;
-  for (const QueryRule& rule : query.rules) {
-    GMARK_ASSIGN_OR_RETURN(ChargedRelation rel,
-                           EvaluateRuleJoin(rule, &budget, ctx));
+  size_t conjunct_offset = 0;
+  size_t step_offset = 0;
+  for (size_t ri = 0; ri < query.rules.size(); ++ri) {
+    GMARK_ASSIGN_OR_RETURN(
+        ChargedRelation rel,
+        EvaluateRuleJoin(query.rules[ri], &budget, ctx, &plan.rules[ri],
+                         conjunct_offset, step_offset));
     per_rule.push_back(std::move(rel.value));
     per_rule_charges.push_back(std::move(rel.charge));
+    conjunct_offset += query.rules[ri].body.size();
+    step_offset += plan.rules[ri].steps.size();
   }
   return CountDistinctUnion(per_rule, &budget);
 }

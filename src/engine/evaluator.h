@@ -29,6 +29,7 @@
 #include "engine/relation.h"
 #include "graph/graph.h"
 #include "obs/eval_profile.h"
+#include "plan/plan.h"
 #include "query/query.h"
 #include "util/result.h"
 
@@ -91,9 +92,15 @@ class ReferenceEvaluator {
   /// (join-based; used for non-chain shapes and by tests as an
   /// independent oracle for the chain fast path). The result's rows are
   /// charged against `budget` until the ChargedRelation is destroyed.
+  /// `plan`, when given, supplies conjunct order and per-step direction
+  /// (null executes the identity plan); `conjunct_offset`/`step_offset`
+  /// place this rule's profile entries in a multi-rule query.
   Result<ChargedRelation> EvaluateRuleJoin(const QueryRule& rule,
                                            BudgetTracker* budget,
-                                           EvalContext* ctx = nullptr) const;
+                                           EvalContext* ctx = nullptr,
+                                           const RulePlan* plan = nullptr,
+                                           size_t conjunct_offset = 0,
+                                           size_t step_offset = 0) const;
 
  private:
   RpqEvaluator rpq_;

@@ -28,6 +28,21 @@ std::string EvalProfile::ToJson() const {
        << ", \"fixpoint_rounds\": " << c.fixpoint_rounds << "}";
     first = false;
   }
+  os << "], \"planned\": " << (planned ? "true" : "false")
+     << ", \"chain_backward\": " << (chain_backward ? "true" : "false")
+     << ", \"plan_steps\": [";
+  first = true;
+  for (const PlanStepProfile& s : plan_steps) {
+    char est[32];
+    std::snprintf(est, sizeof(est), "%.1f", s.est_rows);
+    os << (first ? "" : ", ") << "{\"conjunct\": " << s.conjunct
+       << ", \"position\": " << s.position
+       << ", \"backward\": " << (s.backward ? "true" : "false")
+       << ", \"seed_backward\": " << (s.seed_backward ? "true" : "false")
+       << ", \"est_rows\": " << est
+       << ", \"actual_rows\": " << s.actual_rows << "}";
+    first = false;
+  }
   os << "], \"bfs_pops\": " << bfs_pops
      << ", \"bfs_peak_frontier\": " << bfs_peak_frontier
      << ", \"fixpoint_rounds\": " << fixpoint_rounds
@@ -56,6 +71,20 @@ std::string EvalProfile::ToString() const {
     os << buf;
   }
   os << "]";
+  if (planned) {
+    os << " plan=[";
+    for (size_t i = 0; i < plan_steps.size(); ++i) {
+      const PlanStepProfile& s = plan_steps[i];
+      char buf[80];
+      std::snprintf(buf, sizeof(buf), "%s#%u%s%s est=%.1f act=%llu",
+                    i == 0 ? "" : " ", s.conjunct, s.backward ? "<" : ">",
+                    s.seed_backward ? "~" : "", s.est_rows,
+                    static_cast<unsigned long long>(s.actual_rows));
+      os << buf;
+    }
+    os << "]";
+    if (chain_backward) os << " chain_backward";
+  }
   return os.str();
 }
 

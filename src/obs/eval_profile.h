@@ -52,11 +52,32 @@ struct BfsStatsShard {
   }
 };
 
+/// \brief One executed plan step: which conjunct ran at which position,
+/// in which direction, and how the planner's estimate compared to the
+/// rows the step actually produced. Engines record the whole plan
+/// before evaluating, so budget-killed queries keep their plan (steps
+/// that never ran report actual_rows = 0).
+struct PlanStepProfile {
+  uint32_t conjunct = 0;      ///< Index into the rule body as written.
+  uint32_t position = 0;      ///< Execution position within the rule.
+  bool backward = false;      ///< Step ran over the backward CSR.
+  bool seed_backward = false; ///< Kleene fixpoint seeded from the target side.
+  double est_rows = -1.0;     ///< Planner's row estimate (-1 = identity plan).
+  uint64_t actual_rows = 0;   ///< Rows the executed step produced.
+
+  bool operator==(const PlanStepProfile&) const = default;
+};
+
 /// \brief Everything observed about one evaluation.
 struct EvalProfile {
   /// One entry per body conjunct, concatenated across rules in rule
   /// order (the paper's workloads are single-rule).
   std::vector<ConjunctProfile> conjuncts;
+
+  /// Executed plan: rule order, each rule's steps in execution order.
+  std::vector<PlanStepProfile> plan_steps;
+  bool planned = false;         ///< Plan came from the Planner (not identity).
+  bool chain_backward = false;  ///< Chain fast path ran right-to-left.
 
   // BFS evaluator statistics (S engine and the reference evaluator).
   uint64_t bfs_pops = 0;           ///< Product-graph states popped.
@@ -74,6 +95,12 @@ struct EvalProfile {
   ConjunctProfile& Conjunct(size_t i) {
     if (conjuncts.size() <= i) conjuncts.resize(i + 1);
     return conjuncts[i];
+  }
+
+  /// \brief Add rows actually produced by the plan step at global
+  /// execution index `step` (no-op when no plan was recorded).
+  void RecordPlanStepRows(size_t step, uint64_t rows) {
+    if (step < plan_steps.size()) plan_steps[step].actual_rows += rows;
   }
 
   /// \brief Fold one worker's BFS statistics in (call in chunk order).

@@ -1,0 +1,69 @@
+#include "plan/plan.h"
+
+#include <sstream>
+
+#include "obs/eval_profile.h"
+
+namespace gmark {
+
+QueryPlan QueryPlan::Identity(const Query& query) {
+  QueryPlan plan;
+  plan.planned = false;
+  plan.rules.resize(query.rules.size());
+  for (size_t r = 0; r < query.rules.size(); ++r) {
+    RulePlan& rp = plan.rules[r];
+    rp.steps.resize(query.rules[r].body.size());
+    for (size_t i = 0; i < rp.steps.size(); ++i) {
+      rp.steps[i].conjunct = static_cast<uint32_t>(i);
+    }
+  }
+  return plan;
+}
+
+std::string QueryPlan::ToString() const {
+  std::ostringstream os;
+  for (size_t r = 0; r < rules.size(); ++r) {
+    if (r > 0) os << ' ';
+    os << 'r' << r << '[';
+    for (size_t i = 0; i < rules[r].steps.size(); ++i) {
+      const PlanStep& s = rules[r].steps[i];
+      if (i > 0) os << ' ';
+      os << '#' << s.conjunct << (s.backward ? '<' : '>');
+      if (s.seed_backward) os << '~';
+    }
+    os << ']';
+    if (rules[r].chain_backward) os << "R";
+  }
+  return os.str();
+}
+
+Conjunct EffectiveConjunct(const Conjunct& conjunct, const PlanStep& step) {
+  if (!step.backward) return conjunct;
+  Conjunct rev;
+  rev.source = conjunct.target;
+  rev.target = conjunct.source;
+  rev.expr = ReverseRegex(conjunct.expr);
+  return rev;
+}
+
+void RecordPlan(const QueryPlan& plan, EvalProfile* profile) {
+  if (profile == nullptr) return;
+  profile->planned = plan.planned;
+  profile->chain_backward =
+      plan.rules.size() == 1 && plan.rules[0].chain_backward;
+  profile->plan_steps.clear();
+  for (const RulePlan& rule : plan.rules) {
+    for (size_t pos = 0; pos < rule.steps.size(); ++pos) {
+      const PlanStep& s = rule.steps[pos];
+      PlanStepProfile out;
+      out.conjunct = s.conjunct;
+      out.position = static_cast<uint32_t>(pos);
+      out.backward = s.backward;
+      out.seed_backward = s.seed_backward;
+      out.est_rows = s.est_rows;
+      profile->plan_steps.push_back(out);
+    }
+  }
+}
+
+}  // namespace gmark

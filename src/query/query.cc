@@ -40,6 +40,21 @@ std::string RegularExpression::ToString(const GraphSchema& schema) const {
   return os.str();
 }
 
+RegularExpression ReverseRegex(const RegularExpression& expr) {
+  RegularExpression rev;
+  rev.star = expr.star;
+  rev.disjuncts.reserve(expr.disjuncts.size());
+  for (const PathExpr& path : expr.disjuncts) {
+    PathExpr back;
+    back.reserve(path.size());
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      back.push_back(Symbol{it->predicate, !it->inverse});
+    }
+    rev.disjuncts.push_back(std::move(back));
+  }
+  return rev;
+}
+
 std::string Conjunct::ToString(const GraphSchema& schema) const {
   std::ostringstream os;
   os << "(?x" << source << ", " << expr.ToString(schema) << ", ?x" << target

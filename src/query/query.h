@@ -70,6 +70,12 @@ struct RegularExpression {
   bool operator==(const RegularExpression&) const = default;
 };
 
+/// \brief Reversal r^- of a regular expression: each disjunct path is
+/// reversed and every symbol's inverse flag flipped, so that
+/// (x, r, y) holds iff (y, r^-, x) does. The outermost star is
+/// preserved ((P)*^- = (P^-)*). Reversal is an involution.
+RegularExpression ReverseRegex(const RegularExpression& expr);
+
 /// \brief One subgoal (?x, r, ?y) of a rule body.
 struct Conjunct {
   VarId source = 0;

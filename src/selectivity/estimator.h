@@ -6,11 +6,30 @@
 #define GMARK_SELECTIVITY_ESTIMATOR_H_
 
 #include <map>
+#include <vector>
 
+#include "core/graph_config.h"
 #include "query/query.h"
 #include "selectivity/schema_graph.h"
 
 namespace gmark {
+
+/// \brief Numeric, schema-only cost inputs for one conjunct — the
+/// planner's view of the §5.2.2 degree distributions: expected result
+/// rows plus the relative cost of anchoring evaluation at either
+/// endpoint.
+///
+/// All values are expectations derived from the schema's eta
+/// constraints and the realized NodeLayout; no graph instance is
+/// consulted, so the same (schema, layout) always yields the same
+/// estimate and planning stays deterministic.
+struct CardinalityEstimate {
+  double rows = 0.0;            ///< Expected distinct (source, target) pairs.
+  double forward_cost = 0.0;    ///< Intermediate rows walking source->target.
+  double backward_cost = 0.0;   ///< Intermediate rows walking target->source.
+  double forward_seeds = 0.0;   ///< Nodes with a matching first edge.
+  double backward_seeds = 0.0;  ///< Nodes with a matching final edge.
+};
 
 /// \brief Schema-driven estimator over the selectivity algebra.
 ///
@@ -38,6 +57,19 @@ class SelectivityEstimator {
 
   /// \brief alpha-hat mapped onto {constant, linear, quadratic}.
   Result<QuerySelectivity> EstimateClass(const Query& query) const;
+
+  /// \brief Expected cardinality and direction costs of one conjunct
+  /// under the type-level independence model (composition divides by
+  /// the shared middle type's node count; disjunction adds; the
+  /// outermost star iterates closure over the reflexive diagonal).
+  CardinalityEstimate EstimateCardinality(const Conjunct& conjunct,
+                                          const NodeLayout& layout) const;
+
+  /// \brief Cost of evaluating a chain body end to end in one
+  /// direction (seed scan plus every intermediate frontier) — the
+  /// signal behind the planner's whole-chain direction choice.
+  double EstimateChainCost(const std::vector<Conjunct>& chain,
+                           const NodeLayout& layout, bool backward) const;
 
   const SchemaGraph& schema_graph() const { return graph_; }
   const GraphSchema& schema() const { return *schema_; }

@@ -7,10 +7,13 @@
 
 #include <vector>
 
+#include "core/use_cases.h"
 #include "engine/automaton.h"
 #include "engine/engines.h"
 #include "engine/evaluator.h"
+#include "graph/generator.h"
 #include "parallel/executor.h"
+#include "plan/planner.h"
 
 namespace gmark {
 namespace {
@@ -300,6 +303,188 @@ TEST(ParallelEvalTest, EnginesAgreeOnBudgetKilledStatus) {
       EXPECT_GT(profile.peak_tuples, 50u);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Planned evaluation: the selectivity-driven planner may reorder
+// conjuncts and flip traversal directions, but results and budget
+// accounting must stay byte-identical to the unplanned serial oracle —
+// per engine, at every thread count, on success and kill paths alike.
+
+// The planner needs a schema with eta constraints, so the planned
+// variants run on a generated Bib instance instead of DenseGraph
+// (whose hand-built schema carries no degree distributions).
+class PlannedEvalTest : public ::testing::Test {
+ protected:
+  PlannedEvalTest()
+      : config_(MakeBibConfig(200, 3)),
+        graph_(GenerateGraph(config_).ValueOrDie()),
+        planner_(&config_.schema) {
+    const PredicateId authors =
+        config_.schema.PredicateIdOf("authors").ValueOrDie();
+    const PredicateId published_in =
+        config_.schema.PredicateIdOf("publishedIn").ValueOrDie();
+    // Expensive conjunct written first, a Kleene star in the middle:
+    // the plan has reordering and seed-side decisions to make, and
+    // every engine's closure path gets exercised.
+    RegularExpression co;
+    co.disjuncts = {{Symbol::Fwd(authors), Symbol::Inv(authors)}};
+    co.star = true;
+    QueryRule rule;
+    rule.body = {
+        Conjunct{0, 1, RegularExpression::Atom(Symbol::Fwd(authors))},
+        Conjunct{1, 2, co},
+        Conjunct{2, 3, RegularExpression::Atom(Symbol::Fwd(published_in))}};
+    rule.head = {0, 3};
+    query_.rules = {rule};
+  }
+
+  GraphConfiguration config_;
+  Graph graph_;
+  Planner planner_;
+  Query query_;
+};
+
+TEST_F(PlannedEvalTest, PlanOnMatchesPlanOffOnAllEnginesAndThreadCounts) {
+  const ResourceBudget budget = ResourceBudget::Unlimited();
+  for (EngineKind kind : AllEngineKinds()) {
+    // Unplanned serial run: the oracle for the count.
+    auto oracle = MakeEngine(kind);
+    const uint64_t expected =
+        oracle->Evaluate(graph_, query_, budget).ValueOrDie();
+
+    // Planned serial run: the oracle for the planned profile.
+    EvalOptions planned_opts;
+    planned_opts.planner = &planner_;
+    auto planned_serial = MakeEngine(kind, planned_opts);
+    EvalProfile serial_profile;
+    EvalContext serial_ctx;
+    serial_ctx.profile = &serial_profile;
+    ASSERT_EQ(
+        planned_serial->Evaluate(graph_, query_, budget, &serial_ctx)
+            .ValueOrDie(),
+        expected)
+        << EngineKindCode(kind);
+    EXPECT_TRUE(serial_profile.planned) << EngineKindCode(kind);
+    ASSERT_EQ(serial_profile.plan_steps.size(), query_.rules[0].body.size())
+        << EngineKindCode(kind);
+    for (const PlanStepProfile& step : serial_profile.plan_steps) {
+      EXPECT_GE(step.est_rows, 0.0) << EngineKindCode(kind);
+      EXPECT_GT(step.actual_rows, 0u) << EngineKindCode(kind);
+    }
+
+    for (int threads : kThreadCounts) {
+      Executor executor(threads);
+      EvalOptions opts;
+      opts.executor = &executor;
+      opts.planner = &planner_;
+      auto engine = MakeEngine(kind, opts);
+      EvalProfile profile;
+      EvalContext ctx;
+      ctx.profile = &profile;
+      EXPECT_EQ(engine->Evaluate(graph_, query_, budget, &ctx).ValueOrDie(),
+                expected)
+          << EngineKindCode(kind) << " at " << threads << " threads";
+      // The plan is a pure function of (query, schema, layout), so the
+      // parallel profile — plan steps included — matches the serial
+      // one field for field.
+      EXPECT_EQ(profile.plan_steps, serial_profile.plan_steps)
+          << EngineKindCode(kind) << " at " << threads << " threads";
+      EXPECT_EQ(profile.planned, serial_profile.planned);
+      EXPECT_EQ(profile.chain_backward, serial_profile.chain_backward);
+      EXPECT_EQ(profile.peak_tuples, serial_profile.peak_tuples)
+          << EngineKindCode(kind) << " at " << threads << " threads";
+      EXPECT_EQ(profile.over_releases, 0u);
+      ASSERT_EQ(profile.conjuncts.size(), serial_profile.conjuncts.size());
+      for (size_t i = 0; i < profile.conjuncts.size(); ++i) {
+        EXPECT_EQ(profile.conjuncts[i].rows, serial_profile.conjuncts[i].rows)
+            << EngineKindCode(kind) << " conjunct " << i;
+      }
+    }
+  }
+}
+
+TEST_F(PlannedEvalTest, PlannedConjunctRowsKeepWrittenNumbering) {
+  // Whatever order the plan executes in, profile.conjuncts[i] must
+  // describe the i-th conjunct as written — the unplanned run defines
+  // the expected per-conjunct row counts. Cypher is excluded: its
+  // per-conjunct counters tally DFS match attempts, a measure of
+  // search effort that reordering is supposed to change (the planned
+  // serial-vs-parallel identity above still pins them).
+  for (EngineKind kind : AllEngineKinds()) {
+    if (kind == EngineKind::kCypher) continue;
+    auto unplanned = MakeEngine(kind);
+    EvalProfile base_profile;
+    EvalContext base_ctx;
+    base_ctx.profile = &base_profile;
+    ASSERT_TRUE(unplanned
+                    ->Evaluate(graph_, query_, ResourceBudget::Unlimited(),
+                               &base_ctx)
+                    .ok());
+
+    EvalOptions opts;
+    opts.planner = &planner_;
+    auto planned = MakeEngine(kind, opts);
+    EvalProfile profile;
+    EvalContext ctx;
+    ctx.profile = &profile;
+    ASSERT_TRUE(
+        planned->Evaluate(graph_, query_, ResourceBudget::Unlimited(), &ctx)
+            .ok());
+    ASSERT_EQ(profile.conjuncts.size(), base_profile.conjuncts.size())
+        << EngineKindCode(kind);
+    for (size_t i = 0; i < profile.conjuncts.size(); ++i) {
+      EXPECT_EQ(profile.conjuncts[i].rows, base_profile.conjuncts[i].rows)
+          << EngineKindCode(kind) << " conjunct " << i;
+    }
+  }
+}
+
+TEST_F(PlannedEvalTest, BudgetKilledPlannedRunsKeepTheirPlan) {
+  // A one-tuple ceiling kills every engine mid-step; the plan was
+  // recorded before execution, so the profile still carries the full
+  // step list and the unwind stays clean — at every thread count.
+  const ResourceBudget tight = ResourceBudget::Limited(60.0, 1);
+  for (EngineKind kind : AllEngineKinds()) {
+    for (int threads : kThreadCounts) {
+      Executor executor(threads);
+      EvalOptions opts;
+      opts.executor = &executor;
+      opts.planner = &planner_;
+      auto engine = MakeEngine(kind, opts);
+      EvalProfile profile;
+      EvalContext ctx;
+      ctx.profile = &profile;
+      Status st = engine->Evaluate(graph_, query_, tight, &ctx).status();
+      ASSERT_TRUE(st.IsResourceExhausted())
+          << EngineKindCode(kind) << " at " << threads
+          << " threads: " << st.ToString();
+      EXPECT_TRUE(profile.planned) << EngineKindCode(kind);
+      EXPECT_EQ(profile.plan_steps.size(), query_.rules[0].body.size())
+          << EngineKindCode(kind) << " at " << threads << " threads";
+      EXPECT_EQ(profile.over_releases, 0u) << EngineKindCode(kind);
+    }
+  }
+}
+
+TEST_F(PlannedEvalTest, ReferenceEvaluatorAgreesUnderPlanning) {
+  // The chain fast path may run the whole automaton right-to-left
+  // under a plan; the distinct count must not move.
+  ReferenceEvaluator unplanned(&graph_);
+  const uint64_t expected =
+      unplanned.CountDistinct(query_).ValueOrDie();
+
+  EvalOptions opts;
+  opts.planner = &planner_;
+  ReferenceEvaluator planned(&graph_, opts);
+  EvalProfile profile;
+  EvalContext ctx;
+  ctx.profile = &profile;
+  EXPECT_EQ(planned.CountDistinct(query_, ResourceBudget::Unlimited(), &ctx)
+                .ValueOrDie(),
+            expected);
+  EXPECT_TRUE(profile.planned);
+  EXPECT_EQ(profile.plan_steps.size(), query_.rules[0].body.size());
 }
 
 }  // namespace

@@ -71,10 +71,22 @@ TEST(EvalProfileTest, SerializationListsEveryField) {
   profile.bfs_peak_frontier = 2;
   profile.fixpoint_rounds = 4;
   profile.peak_tuples = 9;
+  profile.planned = true;
+  PlanStepProfile step;
+  step.conjunct = 0;
+  step.position = 0;
+  step.backward = true;
+  step.est_rows = 12.5;
+  step.actual_rows = 11;
+  profile.plan_steps = {step};
   const std::string json = profile.ToJson();
   EXPECT_EQ(json,
             "{\"conjuncts\": [{\"rows\": 11, \"seconds\": 0.250000, "
-            "\"fixpoint_rounds\": 0}], \"bfs_pops\": 3, "
+            "\"fixpoint_rounds\": 0}], \"planned\": true, "
+            "\"chain_backward\": false, \"plan_steps\": "
+            "[{\"conjunct\": 0, \"position\": 0, \"backward\": true, "
+            "\"seed_backward\": false, \"est_rows\": 12.5, "
+            "\"actual_rows\": 11}], \"bfs_pops\": 3, "
             "\"bfs_peak_frontier\": 2, \"fixpoint_rounds\": 4, "
             "\"peak_tuples\": 9, \"tuples_scanned\": 0, "
             "\"tuple_headroom\": 0, \"over_releases\": 0}");
@@ -82,6 +94,7 @@ TEST(EvalProfileTest, SerializationListsEveryField) {
   EXPECT_NE(text.find("peak_tuples=9"), std::string::npos);
   EXPECT_NE(text.find("bfs_pops=3"), std::string::npos);
   EXPECT_NE(text.find("11 rows/0.250s"), std::string::npos);
+  EXPECT_NE(text.find("plan=[#0< est=12.5 act=11]"), std::string::npos);
 }
 
 class EngineProfileTest : public ::testing::Test {
